@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Core Exp_common Float Linalg List Lossmodel Netsim Nstats Topology

@@ -1,0 +1,1 @@
+bench/baselines.ml: Array Core Exp_common Linalg List Lossmodel Netsim Nstats Printf Topology

@@ -1,0 +1,1 @@
+bench/dual.ml: Array Core Exp_common Float Linalg List Nstats Topology

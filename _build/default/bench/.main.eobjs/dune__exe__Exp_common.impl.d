@@ -1,0 +1,1 @@
+bench/exp_common.ml: Array Core Linalg Lossmodel Netsim Nstats Printf String Topology

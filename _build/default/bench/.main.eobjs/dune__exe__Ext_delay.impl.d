@@ -1,0 +1,1 @@
+bench/ext_delay.ml: Array Core Exp_common Float Linalg Netsim Nstats Topology

@@ -1,0 +1,1 @@
+bench/fig3.ml: Array Exp_common List Lossmodel Netsim Nstats Topology

@@ -1,0 +1,1 @@
+bench/fig5.ml: Array Core Exp_common Linalg List Netsim Nstats Topology

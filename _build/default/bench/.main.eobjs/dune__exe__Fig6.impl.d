@@ -1,0 +1,1 @@
+bench/fig6.ml: Array Exp_common List Nstats Topology

@@ -1,0 +1,1 @@
+bench/fig8.ml: Array Core Exp_common Hashtbl List Netsim Nstats Printf Topology

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Baselines Dual Ext_delay Fig3 Fig5 Fig6 Fig8 Fig9 List Printf String Sys Tab2 Tab3 Timing Unix

@@ -1,0 +1,1 @@
+bench/tab2.ml: Array Core Exp_common List Nstats Topology

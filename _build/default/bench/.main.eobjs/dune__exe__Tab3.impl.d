@@ -1,0 +1,1 @@
+bench/tab3.ml: Array Core Exp_common Linalg List Lossmodel Netsim Nstats Topology

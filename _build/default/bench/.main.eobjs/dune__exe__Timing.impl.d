@@ -1,0 +1,1 @@
+bench/timing.ml: Analyze Bechamel Benchmark Core Exp_common Hashtbl Instance Linalg List Lossmodel Measure Netsim Nstats Printf Staged Test Time Toolkit Topology Unix

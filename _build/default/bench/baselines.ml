@@ -1,0 +1,130 @@
+(* Table 1 in action: the loss-tomography method families compared on the
+   same campaigns.
+
+   - LIA (this paper): second-order statistics, full loss rates.
+   - CLINK [22]: multiple snapshots, but only binary path states and a
+     learnt per-link congestion prior; congestion location only.
+   - SCFS [14, 24]: one snapshot, uniform prior; congestion location only.
+   - MILS [36]: first moments only; loss rates at the granularity of
+     minimal identifiable link sequences — we report that granularity
+     (average links per identifiable unit; LIA achieves 1.0 for variances
+     by Theorem 1, and for the rates of all congested links).
+   - MINC [6,7]: the multicast gold standard, simulated on the same trees
+     and loss draws; accurate but not deployable without multicast. *)
+
+module Sparse = Linalg.Sparse
+module Snapshot = Netsim.Snapshot
+module Metrics = Core.Metrics
+
+let runs = 3
+
+let run () =
+  Exp_common.header "Table 1 methods on identical campaigns (600-node trees)";
+  let acc = Array.make 12 0. in
+  let mils_len = ref [] in
+  Array.iter
+    (fun seed ->
+      let rng = Nstats.Rng.create seed in
+      let tb = Topology.Tree_gen.generate rng ~nodes:600 ~max_branching:8 () in
+      let trial = Exp_common.run_trial ~seed:(seed + 1) ~m:50 tb in
+      let r = trial.Exp_common.r in
+      let target = trial.Exp_common.target in
+      let actual = target.Snapshot.congested in
+      (* LIA *)
+      let l = Exp_common.location_of_trial trial in
+      (* CLINK *)
+      let gf =
+        Core.Clink.good_fractions trial.Exp_common.y_learn ~r ~threshold:0.002
+      in
+      let model = Core.Clink.learn ~r ~good_fraction:gf in
+      let bad_paths =
+        Core.Scfs.classify_paths r ~y_now:target.Snapshot.y ~threshold:0.002
+      in
+      let c =
+        Metrics.location ~actual
+          ~inferred:(Core.Clink.infer model r ~bad_paths)
+      in
+      (* SCFS *)
+      let s =
+        Metrics.location ~actual ~inferred:(Core.Scfs.infer r ~bad_paths)
+      in
+      acc.(0) <- acc.(0) +. l.Metrics.dr;
+      acc.(1) <- acc.(1) +. l.Metrics.fpr;
+      acc.(2) <- acc.(2) +. c.Metrics.dr;
+      acc.(3) <- acc.(3) +. c.Metrics.fpr;
+      acc.(4) <- acc.(4) +. s.Metrics.dr;
+      acc.(5) <- acc.(5) +. s.Metrics.fpr;
+      (* MILS granularity *)
+      let t = Core.Mils.prepare r in
+      mils_len := Core.Mils.average_length (Core.Mils.decompose t) :: !mils_len;
+      (* first-moment MLE (packet-train style): location accuracy and the
+         mean absolute per-link error against LIA's *)
+      let em =
+        Core.Em_tomography.estimate r ~delivered:target.Snapshot.received
+          ~probes:1000
+      in
+      let em_loss = Array.map (fun tr -> 1. -. tr) em.Core.Em_tomography.transmission in
+      let e =
+        Metrics.location ~actual ~inferred:(Array.map (fun l -> l > 0.002) em_loss)
+      in
+      acc.(6) <- acc.(6) +. e.Metrics.dr;
+      acc.(7) <- acc.(7) +. e.Metrics.fpr;
+      acc.(8) <-
+        acc.(8)
+        +. Nstats.Descriptive.mean
+             (Metrics.absolute_errors ~actual:target.Snapshot.realized
+                ~inferred:em_loss);
+      acc.(9) <-
+        acc.(9)
+        +. Nstats.Descriptive.mean
+             (Metrics.absolute_errors ~actual:target.Snapshot.realized
+                ~inferred:trial.Exp_common.result.Core.Lia.loss_rates);
+      (* MINC on a multicast campaign over the same tree and statuses *)
+      let tree = Netsim.Multicast.tree_of_routing trial.Exp_common.routing in
+      let mrng = Nstats.Rng.create (seed + 2) in
+      let config =
+        Snapshot.default_config Lossmodel.Loss_model.llrd1_calibrated
+      in
+      (* same measurement volume as LIA's campaign: 51 snapshots *)
+      let gammas =
+        Array.init 51 (fun _ ->
+            (Netsim.Multicast.observe mrng config ~congested:actual tree)
+              .Netsim.Multicast.gamma)
+      in
+      let minc = Core.Minc.infer_average tree ~gammas in
+      let minc_loss = Array.map (fun t -> 1. -. t) minc.Core.Minc.transmission in
+      let mloc =
+        Metrics.location ~actual ~inferred:(Array.map (fun l -> l > 0.002) minc_loss)
+      in
+      acc.(10) <- acc.(10) +. mloc.Metrics.dr;
+      acc.(11) <- acc.(11) +. mloc.Metrics.fpr)
+    (Exp_common.seeds ~base:1400 runs);
+  let n = float_of_int runs in
+  Exp_common.row "%-24s %-8s %-8s %-28s" "method" "DR" "FPR" "loss-rate granularity";
+  Exp_common.row "%-24s %6.1f%% %6.1f%% %-28s" "LIA (this paper)"
+    (Exp_common.pct (acc.(0) /. n))
+    (Exp_common.pct (acc.(1) /. n))
+    "per link (1.0)";
+  Exp_common.row "%-24s %6.1f%% %6.1f%% %-28s" "CLINK [22]"
+    (Exp_common.pct (acc.(2) /. n))
+    (Exp_common.pct (acc.(3) /. n))
+    "congestion status only";
+  Exp_common.row "%-24s %6.1f%% %6.1f%% %-28s" "SCFS [14,24]"
+    (Exp_common.pct (acc.(4) /. n))
+    (Exp_common.pct (acc.(5) /. n))
+    "congestion status only";
+  Exp_common.row "%-24s %6.1f%% %6.1f%% %-28s" "first-moment MLE [12,29]"
+    (Exp_common.pct (acc.(6) /. n))
+    (Exp_common.pct (acc.(7) /. n))
+    (Printf.sprintf "per link, under-determined");
+  Exp_common.note "mean abs per-link error: MLE %.5f vs LIA %.5f" (acc.(8) /. n)
+    (acc.(9) /. n);
+  Exp_common.row "%-24s %6.1f%% %6.1f%% %-28s" "MINC multicast [6,7]"
+    (Exp_common.pct (acc.(10) /. n))
+    (Exp_common.pct (acc.(11) /. n))
+    "per link (needs multicast)";
+  let avg_len = List.fold_left ( +. ) 0. !mils_len /. n in
+  Exp_common.row "%-24s %-8s %-8s %.1f links per group" "MILS [36]" "-" "-" avg_len;
+  Exp_common.note
+    "the paper's Table 1 claim: only second-order methods recover per-link";
+  Exp_common.note "loss rates; first-moment methods stop at groups or statuses"

@@ -1,0 +1,326 @@
+(* netloss — command-line front end to the LIA tomography library.
+
+   Typical session:
+     lia_cli gen --kind planetlab --hosts 30 --seed 1 -o pl.tb
+     lia_cli sim --testbed pl.tb --snapshots 51 --seed 2 -o pl.meas
+     lia_cli infer --testbed pl.tb --measurements pl.meas
+     lia_cli validate --testbed pl.tb --measurements pl.meas --epsilon 0.005 *)
+
+open Cmdliner
+
+module Sparse = Linalg.Sparse
+module Matrix = Linalg.Matrix
+module Snapshot = Netsim.Snapshot
+module Simulator = Netsim.Simulator
+
+let routing_of_testbed tb = Topology.Testbed.routing tb
+
+(* --- shared arguments ------------------------------------------------- *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let testbed_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "t"; "testbed" ] ~docv:"FILE" ~doc:"Testbed file (from $(b,gen)).")
+
+let measurements_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "y"; "measurements" ] ~docv:"FILE"
+        ~doc:"Measurement file (from $(b,sim)).")
+
+let model_conv =
+  let parse = function
+    | "llrd1" -> Ok Lossmodel.Loss_model.llrd1
+    | "llrd1-calibrated" -> Ok Lossmodel.Loss_model.llrd1_calibrated
+    | "llrd2" -> Ok Lossmodel.Loss_model.llrd2
+    | "internet" -> Ok Lossmodel.Loss_model.internet
+    | s -> Error (`Msg (Printf.sprintf "unknown loss model %S" s))
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf m.Lossmodel.Loss_model.name)
+
+let dynamics_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "static" ] -> Ok Simulator.Static
+    | [ "iid" ] -> Ok Simulator.Iid
+    | [ "markov"; stay ] -> (
+        try Ok (Simulator.Markov (float_of_string stay))
+        with Failure _ -> Error (`Msg "markov:<stay> expects a float"))
+    | [ "hetero"; rest ] -> (
+        match String.split_on_char ',' rest with
+        | [ stay; active ] -> (
+            try
+              Ok
+                (Simulator.Hetero
+                   { stay = float_of_string stay; active = float_of_string active })
+            with Failure _ -> Error (`Msg "hetero:<stay>,<active> expects floats"))
+        | _ -> Error (`Msg "hetero:<stay>,<active>"))
+    | _ -> Error (`Msg (Printf.sprintf "unknown dynamics %S" s))
+  in
+  let print ppf = function
+    | Simulator.Static -> Format.pp_print_string ppf "static"
+    | Simulator.Iid -> Format.pp_print_string ppf "iid"
+    | Simulator.Markov s -> Format.fprintf ppf "markov:%g" s
+    | Simulator.Hetero { stay; active } -> Format.fprintf ppf "hetero:%g,%g" stay active
+  in
+  Arg.conv (parse, print)
+
+(* --- gen ---------------------------------------------------------------- *)
+
+let gen_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt string "planetlab"
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:
+            "Topology family: $(b,tree), $(b,waxman), $(b,ba), $(b,hier-td), \
+             $(b,hier-bu), $(b,planetlab), $(b,dimes), $(b,transit-stub).")
+  in
+  let nodes =
+    Arg.(value & opt int 1000 & info [ "nodes" ] ~docv:"N" ~doc:"Core size.")
+  in
+  let hosts =
+    Arg.(value & opt int 30 & info [ "hosts" ] ~docv:"H" ~doc:"End-host count.")
+  in
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output testbed file.")
+  in
+  let run kind nodes hosts seed output =
+    let rng = Nstats.Rng.create seed in
+    let tb =
+      match kind with
+      | "tree" -> Topology.Tree_gen.generate rng ~nodes ~max_branching:10 ()
+      | "waxman" -> Topology.Waxman.generate rng ~nodes ~hosts ()
+      | "ba" -> Topology.Barabasi_albert.generate rng ~nodes ~hosts ()
+      | "hier-td" ->
+          Topology.Hierarchical.generate rng ~flavour:Topology.Hierarchical.Top_down
+            ~ases:(max 2 (nodes / 40)) ~routers_per_as:12 ~hosts
+      | "hier-bu" ->
+          Topology.Hierarchical.generate rng ~flavour:Topology.Hierarchical.Bottom_up
+            ~ases:(max 2 (nodes / 40)) ~routers_per_as:12 ~hosts
+      | "planetlab" -> Topology.Overlay.planetlab_like rng ~hosts ()
+      | "transit-stub" -> Topology.Transit_stub.generate rng ~hosts ()
+      | "dimes" -> Topology.Overlay.dimes_like rng ~hosts ()
+      | other -> failwith (Printf.sprintf "unknown topology kind %S" other)
+    in
+    Topology.Serial.save output tb;
+    let red = routing_of_testbed tb in
+    Printf.printf "wrote %s: %s; %d paths x %d virtual links\n" output
+      (Format.asprintf "%a" Topology.Testbed.pp tb)
+      (Sparse.rows red.Topology.Routing.matrix)
+      (Sparse.cols red.Topology.Routing.matrix)
+  in
+  let term = Term.(const run $ kind $ nodes $ hosts $ seed_arg $ output) in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a topology and write a testbed file.") term
+
+(* --- sim ---------------------------------------------------------------- *)
+
+let sim_cmd =
+  let snapshots =
+    Arg.(value & opt int 51 & info [ "snapshots" ] ~docv:"M" ~doc:"Snapshot count.")
+  in
+  let probes =
+    Arg.(value & opt int 1000 & info [ "probes" ] ~docv:"S" ~doc:"Probes per snapshot.")
+  in
+  let congestion =
+    Arg.(
+      value & opt float 0.1
+      & info [ "congestion" ] ~docv:"P" ~doc:"Congested-link probability p.")
+  in
+  let model =
+    Arg.(
+      value
+      & opt model_conv Lossmodel.Loss_model.llrd1_calibrated
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "Loss model: $(b,llrd1), $(b,llrd1-calibrated), $(b,llrd2), \
+             $(b,internet).")
+  in
+  let dynamics =
+    Arg.(
+      value
+      & opt dynamics_conv Simulator.Static
+      & info [ "dynamics" ] ~docv:"DYN"
+          ~doc:
+            "Congestion dynamics: $(b,static), $(b,iid), $(b,markov:STAY), \
+             $(b,hetero:STAY,ACTIVE).")
+  in
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output measurement file.")
+  in
+  let truth =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "truth" ] ~docv:"FILE"
+          ~doc:"Also write the final snapshot's true link loss rates.")
+  in
+  let run testbed snapshots probes congestion model dynamics seed output truth =
+    let tb = Topology.Serial.load testbed in
+    let red = routing_of_testbed tb in
+    let r = red.Topology.Routing.matrix in
+    let rng = Nstats.Rng.create seed in
+    let config =
+      { (Snapshot.default_config model) with
+        Snapshot.probes; congestion_prob = congestion }
+    in
+    let run_result = Simulator.run ~dynamics rng config r ~count:snapshots in
+    Netsim.Trace_io.save output run_result.Simulator.y;
+    Printf.printf "wrote %s: %d snapshots x %d paths\n" output snapshots
+      (Sparse.rows r);
+    Option.iter
+      (fun path ->
+        let last = run_result.Simulator.snapshots.(snapshots - 1) in
+        let oc = open_out path in
+        Array.iteri
+          (fun k rate ->
+            Printf.fprintf oc "%d %.8f %s\n" k rate
+              (if last.Snapshot.congested.(k) then "congested" else "good"))
+          last.Snapshot.realized;
+        close_out oc;
+        Printf.printf "wrote %s: true link states of the final snapshot\n" path)
+      truth
+  in
+  let term =
+    Term.(
+      const run $ testbed_arg $ snapshots $ probes $ congestion $ model $ dynamics
+      $ seed_arg $ output $ truth)
+  in
+  Cmd.v (Cmd.info "sim" ~doc:"Simulate a measurement campaign on a testbed.") term
+
+(* --- infer --------------------------------------------------------------- *)
+
+let infer_cmd =
+  let threshold =
+    Arg.(
+      value & opt float 0.002
+      & info [ "threshold" ] ~docv:"TL" ~doc:"Congestion threshold tl.")
+  in
+  let top =
+    Arg.(
+      value & opt int 20
+      & info [ "top" ] ~docv:"K" ~doc:"Print only the K lossiest links.")
+  in
+  let run testbed measurements threshold top =
+    let tb = Topology.Serial.load testbed in
+    let red = routing_of_testbed tb in
+    let r = red.Topology.Routing.matrix in
+    let y = Netsim.Trace_io.load measurements in
+    let m = Matrix.rows y - 1 in
+    if m < 2 then failwith "need at least 3 snapshots (m >= 2 learning + 1 target)";
+    if Matrix.cols y <> Sparse.rows r then
+      failwith "measurement width does not match the testbed's path count";
+    let y_learn = Matrix.init m (Matrix.cols y) (fun l i -> Matrix.get y l i) in
+    let y_now = Matrix.row y m in
+    let result = Core.Lia.infer ~r ~y_learn ~y_now () in
+    Printf.printf "learned variances from %d snapshots\n" m;
+    print_string
+      (Core.Report.table
+         ~options:{ Core.Report.default_options with Core.Report.threshold; top }
+         ~graph:tb.Topology.Testbed.graph ~routing:red result)
+  in
+  let term = Term.(const run $ testbed_arg $ measurements_arg $ threshold $ top) in
+  Cmd.v
+    (Cmd.info "infer"
+       ~doc:
+         "Run LIA: learn variances on all but the last snapshot, infer link \
+          loss rates on the last.")
+    term
+
+(* --- validate ------------------------------------------------------------- *)
+
+let validate_cmd =
+  let epsilon =
+    Arg.(
+      value & opt float 0.005
+      & info [ "epsilon" ] ~docv:"EPS" ~doc:"Tolerance of eq. (11).")
+  in
+  let run testbed measurements epsilon seed =
+    let tb = Topology.Serial.load testbed in
+    let red = routing_of_testbed tb in
+    let r = red.Topology.Routing.matrix in
+    let y = Netsim.Trace_io.load measurements in
+    let m = Matrix.rows y - 1 in
+    if m < 2 then failwith "need at least 3 snapshots";
+    let y_learn = Matrix.init m (Matrix.cols y) (fun l i -> Matrix.get y l i) in
+    let y_now = Matrix.row y m in
+    let rng = Nstats.Rng.create seed in
+    let report =
+      Core.Validation.cross_validate rng ~r ~y_learn ~y_now ~epsilon
+    in
+    Printf.printf "consistent validation paths: %d / %d (%.1f%%) at epsilon %g\n"
+      report.Core.Validation.consistent report.Core.Validation.total
+      (100. *. report.Core.Validation.fraction)
+      epsilon
+  in
+  let term = Term.(const run $ testbed_arg $ measurements_arg $ epsilon $ seed_arg) in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Cross-validate inferred rates on held-out paths (eq. 11).")
+    term
+
+(* --- check ---------------------------------------------------------------- *)
+
+let check_cmd =
+  let run testbed =
+    let tb = Topology.Serial.load testbed in
+    let paths =
+      Topology.Routing.paths_between tb.Topology.Testbed.graph
+        ~beacons:tb.Topology.Testbed.beacons
+        ~destinations:tb.Topology.Testbed.destinations
+    in
+    Printf.printf "assumptions on %d measured paths:\n" (Array.length paths);
+    List.iter
+      (fun (label, ok) ->
+        Printf.printf "  %-45s %s\n" label (if ok then "ok" else "VIOLATED"))
+      (Core.Identifiability.assumptions_report tb.Topology.Testbed.graph paths);
+    let red = routing_of_testbed tb in
+    let r = red.Topology.Routing.matrix in
+    Printf.printf "reduced routing matrix: %d paths x %d virtual links\n"
+      (Sparse.rows r) (Sparse.cols r);
+    (match Core.Identifiability.check r with
+    | Core.Identifiability.Identifiable ->
+        Printf.printf "link variances: IDENTIFIABLE (Theorem 1 premise holds)\n"
+    | Core.Identifiability.Dependent deps ->
+        Printf.printf "link variances NOT identifiable; entangled columns: %s\n"
+          (String.concat ", " (List.map string_of_int deps)));
+    let rng = Nstats.Rng.create 0 in
+    let schedule = Netsim.Schedule.build rng Netsim.Schedule.default_config red in
+    Printf.printf
+      "probe schedule (40B/10ms trains, 100 KB/s cap): %d rounds, %.0f s per \
+       snapshot sweep\n"
+      (Array.length schedule.Netsim.Schedule.rounds)
+      schedule.Netsim.Schedule.snapshot_seconds
+  in
+  let term = Term.(const run $ testbed_arg) in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Check a testbed's measurement assumptions, variance \
+          identifiability, and probing cost.")
+    term
+
+let main =
+  let doc = "network loss tomography with second-order statistics (LIA)" in
+  Cmd.group (Cmd.info "lia_cli" ~doc)
+    [ gen_cmd; sim_cmd; infer_cmd; validate_cmd; check_cmd ]
+
+let () =
+  match Cmd.eval_value ~catch:false main with
+  | Ok _ -> ()
+  | Error _ -> exit 124
+  | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
+      Printf.eprintf "lia_cli: %s\n" msg;
+      exit 2

@@ -1,0 +1,1 @@
+examples/delay_tomography.ml: Array Core Float Linalg Netsim Nstats Printf Topology

@@ -1,0 +1,1 @@
+examples/deployment_audit.ml: Array Core Float Linalg List Lossmodel Netsim Nstats Printf String Topology

@@ -1,0 +1,1 @@
+examples/flutter_repair.ml: Array Core Linalg List Lossmodel Netsim Nstats Option Printf Topology

@@ -1,0 +1,1 @@
+examples/flutter_repair.mli:

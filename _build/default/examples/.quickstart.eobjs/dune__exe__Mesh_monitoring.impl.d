@@ -1,0 +1,1 @@
+examples/mesh_monitoring.ml: Array Core Linalg Lossmodel Netsim Nstats Printf String Topology

@@ -1,0 +1,1 @@
+examples/planetlab_day.ml: Array Core Linalg List Lossmodel Netsim Nstats Printf Topology

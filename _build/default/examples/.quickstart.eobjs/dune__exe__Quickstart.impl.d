@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Core Format Linalg Lossmodel Netsim Nstats Printf Topology

@@ -1,0 +1,75 @@
+(* Delay tomography — the paper's first extension (Section 8) end to end.
+
+   "Congested links usually have high delay variations. We first take
+   multiple snapshots of the network to learn the delay variances; based
+   on the inferred variances we reduce the first order moment equations
+   by removing links with small congestion delays and then solve for the
+   delays of the remaining congested links."
+
+   Delay measurements are directly linear in link delays, so Theorem 1
+   applies verbatim: the same augmented-matrix machinery identifies delay
+   variances, and the same rank reduction pins down the queueing delays
+   of the misbehaving links.
+
+   Run with: dune exec examples/delay_tomography.exe *)
+
+module Sparse = Linalg.Sparse
+module Matrix = Linalg.Matrix
+module Delay = Netsim.Delay
+
+let () =
+  let rng = Nstats.Rng.create 17 in
+  let tb = Topology.Tree_gen.generate rng ~nodes:500 ~max_branching:8 () in
+  let red = Topology.Testbed.routing tb in
+  let r = red.Topology.Routing.matrix in
+  Printf.printf "tree with %d paths over %d links\n" (Sparse.rows r) (Sparse.cols r);
+
+  let config = Delay.default_config in
+  let network = Delay.make_network rng config ~links:(Sparse.cols r) in
+  let m = 50 in
+  let snaps, y = Delay.run rng config network r ~count:(m + 1) in
+  Printf.printf
+    "simulated %d delay snapshots (S = %d probes, %.0f ms jitter per probe)\n"
+    (m + 1) config.Delay.probes config.Delay.jitter;
+
+  let y_learn = Matrix.init m (Sparse.rows r) (fun l i -> Matrix.get y l i) in
+  let target = snaps.(m) in
+  let result = Core.Delay_lia.infer ~r ~y_learn ~y_now:target.Delay.y in
+
+  Printf.printf "\nkept %d of %d columns after the variance cut\n"
+    (Array.length result.Core.Delay_lia.kept)
+    (Sparse.cols r);
+  Printf.printf "%-6s %-14s %-14s %-12s %s\n" "link" "true queue(ms)"
+    "inferred (ms)" "variance" "verdict";
+  let order =
+    Linalg.Vector.sort_indices ~descending:true result.Core.Delay_lia.queueing
+  in
+  Array.iteri
+    (fun rank k ->
+      if rank < 12 then
+        Printf.printf "%-6d %-14.2f %-14.2f %-12.3g %s\n" k
+          target.Delay.queueing.(k)
+          result.Core.Delay_lia.queueing.(k)
+          result.Core.Delay_lia.variances.(k)
+          (if result.Core.Delay_lia.queueing.(k) > 10. then "QUEUEING" else "ok"))
+    order;
+
+  let inferred = Core.Delay_lia.congested result ~threshold:10. in
+  let loc = Core.Metrics.location ~actual:target.Delay.congested ~inferred in
+  Printf.printf "\nheavily-queueing link location: DR %.1f%%  FPR %.1f%%\n"
+    (100. *. loc.Core.Metrics.dr) (100. *. loc.Core.Metrics.fpr);
+
+  (* queueing error on detected links *)
+  let errs = ref [] in
+  Array.iteri
+    (fun k c ->
+      if c then
+        errs :=
+          Float.abs (result.Core.Delay_lia.queueing.(k) -. target.Delay.queueing.(k))
+          :: !errs)
+    target.Delay.congested;
+  if !errs <> [] then begin
+    let a = Array.of_list !errs in
+    Printf.printf "queueing-delay error on congested links: median %.2f ms, max %.2f ms\n"
+      (Nstats.Descriptive.median a) (Nstats.Descriptive.maximum a)
+  end

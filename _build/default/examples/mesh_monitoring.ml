@@ -1,0 +1,95 @@
+(* Continuous mesh monitoring: streaming LIA vs the single-snapshot SCFS
+   and probability-based CLINK baselines, plus anomaly screening.
+
+   A hierarchical ISP-style mesh is watched from vantage hosts through a
+   sliding window (Core.Monitor). Every new snapshot is diagnosed three
+   ways — LIA (second-order statistics), CLINK (learnt congestion
+   probabilities), SCFS (current snapshot only) — and scored against the
+   simulator's ground truth; the anomaly detector screens each snapshot
+   for paths deviating from their baseline before any solving happens.
+
+   Run with: dune exec examples/mesh_monitoring.exe *)
+
+module Sparse = Linalg.Sparse
+module Matrix = Linalg.Matrix
+module Snapshot = Netsim.Snapshot
+module Simulator = Netsim.Simulator
+module Metrics = Core.Metrics
+
+let () =
+  let rng = Nstats.Rng.create 99 in
+  let tb =
+    Topology.Hierarchical.generate rng ~flavour:Topology.Hierarchical.Top_down
+      ~ases:20 ~routers_per_as:12 ~hosts:20
+  in
+  let red = Topology.Testbed.routing tb in
+  let r = red.Topology.Routing.matrix in
+  Printf.printf "monitoring a hierarchical mesh: %d paths, %d links\n"
+    (Sparse.rows r) (Sparse.cols r);
+
+  let config = Snapshot.default_config Lossmodel.Loss_model.llrd1_calibrated in
+  let window = 40 in
+  let stream_len = window + 12 in
+  let run = Simulator.run rng config r ~count:stream_len in
+
+  let monitor = Core.Monitor.create ~r ~window in
+  for t = 0 to window - 1 do
+    Core.Monitor.observe monitor (Matrix.row run.Simulator.y t)
+  done;
+
+  (* CLINK's probability model over the same warm-up window *)
+  let warmup = Matrix.init window (Sparse.rows r) (fun l i -> Matrix.get run.Simulator.y l i) in
+  let clink_model =
+    Core.Clink.learn ~r
+      ~good_fraction:(Core.Clink.good_fractions warmup ~r ~threshold:0.002)
+  in
+
+  Printf.printf "\n%-5s %-6s | %-15s | %-15s | %-15s\n" "snap" "anoms"
+    "LIA  DR    FPR" "CLINK DR   FPR" "SCFS DR    FPR";
+  Printf.printf "%s\n" (String.make 72 '-');
+
+  let sums = Array.make 6 0. in
+  let scored = ref 0 in
+  for t = window to stream_len - 1 do
+    let snap = run.Simulator.snapshots.(t) in
+    let actual = snap.Snapshot.congested in
+    (* anomaly screening against the window baseline *)
+    let anomaly_model = Core.Monitor.anomaly_model monitor in
+    let anomalous =
+      Core.Anomaly.anomalous_paths anomaly_model ~y_now:snap.Snapshot.y
+    in
+    let n_anom = Array.fold_left (fun a b -> if b then a + 1 else a) 0 anomalous in
+    (* three diagnoses *)
+    let lia = Core.Monitor.infer monitor ~y_now:snap.Snapshot.y in
+    let lia_verdict = Core.Lia.congested lia ~threshold:0.002 in
+    let bad_paths =
+      Core.Scfs.classify_paths r ~y_now:snap.Snapshot.y ~threshold:0.002
+    in
+    let clink_verdict = Core.Clink.infer clink_model r ~bad_paths in
+    let scfs_verdict = Core.Scfs.infer r ~bad_paths in
+    let l = Metrics.location ~actual ~inferred:lia_verdict in
+    let c = Metrics.location ~actual ~inferred:clink_verdict in
+    let s = Metrics.location ~actual ~inferred:scfs_verdict in
+    sums.(0) <- sums.(0) +. l.Metrics.dr;
+    sums.(1) <- sums.(1) +. l.Metrics.fpr;
+    sums.(2) <- sums.(2) +. c.Metrics.dr;
+    sums.(3) <- sums.(3) +. c.Metrics.fpr;
+    sums.(4) <- sums.(4) +. s.Metrics.dr;
+    sums.(5) <- sums.(5) +. s.Metrics.fpr;
+    incr scored;
+    Printf.printf "%-5d %-6d | %5.1f%% %5.1f%%   | %5.1f%% %5.1f%%   | %5.1f%% %5.1f%%\n"
+      t n_anom (100. *. l.Metrics.dr) (100. *. l.Metrics.fpr)
+      (100. *. c.Metrics.dr) (100. *. c.Metrics.fpr) (100. *. s.Metrics.dr)
+      (100. *. s.Metrics.fpr);
+    (* slide the window forward *)
+    Core.Monitor.observe monitor snap.Snapshot.y
+  done;
+  let n = float_of_int !scored in
+  Printf.printf "%s\n" (String.make 72 '-');
+  Printf.printf "%-12s | %5.1f%% %5.1f%%   | %5.1f%% %5.1f%%   | %5.1f%% %5.1f%%\n"
+    "mean" (100. *. sums.(0) /. n) (100. *. sums.(1) /. n)
+    (100. *. sums.(2) /. n) (100. *. sums.(3) /. n) (100. *. sums.(4) /. n)
+    (100. *. sums.(5) /. n);
+
+  Printf.printf "\nLIA exploits second-order statistics; CLINK only link priors;\n";
+  Printf.printf "SCFS only the current snapshot — accuracy degrades in that order.\n"

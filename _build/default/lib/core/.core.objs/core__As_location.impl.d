@@ -1,0 +1,1 @@
+lib/core/as_location.ml: Array Format Topology

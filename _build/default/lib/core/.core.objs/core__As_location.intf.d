@@ -1,0 +1,1 @@
+lib/core/as_location.mli: Format Topology

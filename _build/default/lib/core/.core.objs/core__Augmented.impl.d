@@ -1,0 +1,1 @@
+lib/core/augmented.ml: Array Linalg List

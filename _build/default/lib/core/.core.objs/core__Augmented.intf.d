@@ -1,0 +1,1 @@
+lib/core/augmented.mli: Linalg

@@ -1,0 +1,1 @@
+lib/core/clink.ml: Array Float Hashtbl Linalg List

@@ -1,0 +1,1 @@
+lib/core/covariance.ml: Array Augmented Linalg Nstats

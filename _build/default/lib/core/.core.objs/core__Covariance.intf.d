@@ -1,0 +1,1 @@
+lib/core/covariance.mli: Linalg

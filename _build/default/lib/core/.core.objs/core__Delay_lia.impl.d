@@ -1,0 +1,1 @@
+lib/core/delay_lia.ml: Array Float Linalg Rank_reduction Variance_estimator

@@ -1,0 +1,1 @@
+lib/core/delay_lia.mli: Linalg

@@ -1,0 +1,1 @@
+lib/core/duration.ml: Array Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/core/em_tomography.mli: Linalg

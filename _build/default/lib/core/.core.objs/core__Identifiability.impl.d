@@ -1,0 +1,1 @@
+lib/core/identifiability.ml: Array Hashtbl Linalg List Topology

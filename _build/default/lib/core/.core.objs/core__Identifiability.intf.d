@@ -1,0 +1,1 @@
+lib/core/identifiability.mli: Linalg Topology

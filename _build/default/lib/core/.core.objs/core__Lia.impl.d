@@ -1,0 +1,1 @@
+lib/core/lia.ml: Array Float Linalg Rank_reduction Variance_estimator

@@ -1,0 +1,1 @@
+lib/core/lia.mli: Linalg Variance_estimator

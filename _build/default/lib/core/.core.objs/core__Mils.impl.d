@@ -1,0 +1,1 @@
+lib/core/mils.ml: Array Hashtbl Linalg List

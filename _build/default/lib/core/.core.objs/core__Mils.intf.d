@@ -1,0 +1,1 @@
+lib/core/mils.mli: Linalg

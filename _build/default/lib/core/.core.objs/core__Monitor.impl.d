@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Anomaly Array Lia Linalg Queue Variance_estimator

@@ -1,0 +1,1 @@
+lib/core/rank_reduction.ml: Array Linalg List

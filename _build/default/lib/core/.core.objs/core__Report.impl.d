@@ -1,0 +1,1 @@
+lib/core/report.ml: Array As_location Buffer Lia Linalg List Printf String Topology

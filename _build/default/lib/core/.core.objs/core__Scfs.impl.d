@@ -1,0 +1,1 @@
+lib/core/scfs.ml: Array Hashtbl Linalg List

@@ -1,0 +1,1 @@
+lib/core/traffic_matrix.ml: Array Identifiability Linalg List Nstats Topology Variance_estimator

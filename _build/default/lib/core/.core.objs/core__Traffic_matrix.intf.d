@@ -1,0 +1,1 @@
+lib/core/traffic_matrix.mli: Linalg Nstats Topology

@@ -1,0 +1,1 @@
+lib/core/validation.ml: Array Float Lia Linalg List Nstats

@@ -1,0 +1,1 @@
+lib/core/variance_ci.ml: Array Float Linalg Nstats Variance_estimator

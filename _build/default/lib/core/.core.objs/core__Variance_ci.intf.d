@@ -1,0 +1,1 @@
+lib/core/variance_ci.mli: Linalg Nstats

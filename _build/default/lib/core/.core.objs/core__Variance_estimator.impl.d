@@ -1,0 +1,1 @@
+lib/core/variance_estimator.ml: Array Augmented Covariance Float Linalg List

@@ -1,0 +1,33 @@
+module Matrix = Linalg.Matrix
+
+type model = { mean : float array; std : float array }
+
+let learn ?(std_floor = 1e-4) y =
+  let m = Matrix.rows y and np = Matrix.cols y in
+  if m < 2 then invalid_arg "Anomaly.learn: need at least 2 snapshots";
+  let mean = Nstats.Descriptive.mean_vector y in
+  let std =
+    Array.init np (fun i ->
+        let acc = ref 0. in
+        for l = 0 to m - 1 do
+          let d = Matrix.get y l i -. mean.(i) in
+          acc := !acc +. (d *. d)
+        done;
+        Float.max std_floor (sqrt (!acc /. float_of_int (m - 1))))
+  in
+  { mean; std }
+
+let path_scores model ~y_now =
+  if Array.length y_now <> Array.length model.mean then
+    invalid_arg "Anomaly.path_scores: length mismatch";
+  Array.mapi (fun i y -> (y -. model.mean.(i)) /. model.std.(i)) y_now
+
+let anomalous_paths ?(z_threshold = 3.) model ~y_now =
+  if z_threshold <= 0. then invalid_arg "Anomaly: non-positive z threshold";
+  Array.map (fun z -> z < -.z_threshold) (path_scores model ~y_now)
+
+let localize r ~anomalous = Scfs.infer r ~bad_paths:anomalous
+
+let detect ?z_threshold model ~r ~y_now =
+  let paths = anomalous_paths ?z_threshold model ~y_now in
+  (paths, localize r ~anomalous:paths)

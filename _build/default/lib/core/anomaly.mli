@@ -1,0 +1,41 @@
+(** Network anomaly detection from a few vantage points — the paper's
+    second suggested extension (Section 8).
+
+    The learning window gives every path an expected log transmission
+    rate and a variance; a fresh snapshot is screened by standardizing
+    each path's measurement against that baseline. Paths that deviate
+    beyond a z-threshold are anomalous, and the anomalous set is localized
+    to links with the same parsimonious-explanation machinery as the
+    congested-link baselines. Because the per-path moments come from the
+    same snapshots LIA already collects, detection is essentially free. *)
+
+type model = {
+  mean : float array;  (** per-path baseline mean of [Y] *)
+  std : float array;  (** per-path baseline standard deviation (>= a floor) *)
+}
+
+val learn : ?std_floor:float -> Linalg.Matrix.t -> model
+(** [learn y] from the learning window (rows = snapshots). [std_floor]
+    (default [1e-4]) prevents zero-variance paths from firing on any
+    noise. Raises [Invalid_argument] with fewer than two snapshots. *)
+
+val path_scores : model -> y_now:Linalg.Vector.t -> float array
+(** Standardized residuals; negative = worse than baseline. *)
+
+val anomalous_paths :
+  ?z_threshold:float -> model -> y_now:Linalg.Vector.t -> bool array
+(** Paths whose measurement is more than [z_threshold] (default 3)
+    standard deviations {e below} baseline (losses only get worse). *)
+
+val localize :
+  Linalg.Sparse.t -> anomalous:bool array -> bool array
+(** Smallest consistent explanation of the anomalous paths (links on
+    non-anomalous paths are exonerated). *)
+
+val detect :
+  ?z_threshold:float ->
+  model ->
+  r:Linalg.Sparse.t ->
+  y_now:Linalg.Vector.t ->
+  bool array * bool array
+(** [(anomalous_paths, suspect_links)] in one call. *)

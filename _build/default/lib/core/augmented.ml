@@ -1,0 +1,53 @@
+module Sparse = Linalg.Sparse
+
+let row_count ~np = np * (np + 1) / 2
+
+let row_index ~np ~i ~j =
+  if i < 0 || j < i || j >= np then invalid_arg "Augmented.row_index: bad pair";
+  (* rows for pairs with i = 0 first: i full blocks of decreasing size *)
+  (i * np) - (i * (i - 1) / 2) + (j - i)
+
+let row_pair ~np k =
+  if k < 0 || k >= row_count ~np then invalid_arg "Augmented.row_pair: bad row";
+  let rec find i k =
+    let block = np - i in
+    if k < block then (i, i + k) else find (i + 1) (k - block)
+  in
+  find 0 k
+
+let build r =
+  let np = Sparse.rows r in
+  let nc = Sparse.cols r in
+  let rows = Array.make (row_count ~np) [||] in
+  for i = 0 to np - 1 do
+    let ri = Sparse.row r i in
+    for j = i to np - 1 do
+      let row = if i = j then ri else Sparse.row_product ri (Sparse.row r j) in
+      rows.(row_index ~np ~i ~j) <- row
+    done
+  done;
+  Sparse.create ~cols:nc rows
+
+let update_rows r ~rows:changed a =
+  let np = Sparse.rows r in
+  if Sparse.rows a <> row_count ~np || Sparse.cols a <> Sparse.cols r then
+    invalid_arg "Augmented.update_rows: dimension mismatch";
+  let is_changed = Array.make np false in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= np then invalid_arg "Augmented.update_rows: bad row";
+      is_changed.(i) <- true)
+    changed;
+  let out = Array.init (Sparse.rows a) (fun k -> Sparse.row a k) in
+  for i = 0 to np - 1 do
+    let ri = Sparse.row r i in
+    for j = i to np - 1 do
+      if is_changed.(i) || is_changed.(j) then begin
+        let row =
+          if i = j then ri else Sparse.row_product ri (Sparse.row r j)
+        in
+        out.(row_index ~np ~i ~j) <- row
+      end
+    done
+  done;
+  Sparse.create ~cols:(Sparse.cols r) out

@@ -1,0 +1,31 @@
+(** The augmented matrix [A] of Definition 1.
+
+    For a routing matrix [R] with [n_p] rows, [A] has one row per ordered
+    pair [(i, j)] with [i <= j]: the element-wise product [Ri∗ ⊗ Rj∗]
+    (which is [Ri∗] itself when [i = j], since [R] is 0/1). Lemma 1 turns
+    [Σ = R diag(v) Rᵀ] into the linear system [Σ* = A v], and Theorem 1
+    shows [A] has full column rank for every valid topology — this is what
+    makes the link variances identifiable. *)
+
+val row_index : np:int -> i:int -> j:int -> int
+(** Row of the pair [(i, j)], [0 <= i <= j < np], in the canonical
+    upper-triangular order: all pairs [(0, j)], then [(1, j)], etc.
+    Raises [Invalid_argument] on a bad pair. *)
+
+val row_pair : np:int -> int -> int * int
+(** Inverse of {!row_index}. *)
+
+val row_count : np:int -> int
+(** [np * (np+1) / 2]. *)
+
+val build : Linalg.Sparse.t -> Linalg.Sparse.t
+(** The full augmented matrix, rows in {!row_index} order. For [n_p] paths
+    this has [n_p (n_p + 1) / 2] rows; it stays cheap because rows are
+    stored sparsely. *)
+
+val update_rows : Linalg.Sparse.t -> rows:int list -> Linalg.Sparse.t -> Linalg.Sparse.t
+(** [update_rows r ~rows a] recomputes only the augmented rows involving
+    the given routing-matrix rows (after a beacon joins/leaves or a route
+    changes), reusing every other row of the previously built [a] — the
+    incremental update discussed in Section 5.1. [a] must have been built
+    from a routing matrix with the same dimensions as [r]. *)

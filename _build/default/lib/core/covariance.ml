@@ -1,0 +1,16 @@
+module Matrix = Linalg.Matrix
+
+let sigma_star y =
+  let sigma = Nstats.Descriptive.covariance_matrix y in
+  let np = Matrix.cols y in
+  Array.init (Augmented.row_count ~np) (fun k ->
+      let i, j = Augmented.row_pair ~np k in
+      Matrix.get sigma i j)
+
+let of_sigma_matrix sigma =
+  let np = Matrix.rows sigma in
+  if Matrix.cols sigma <> np then
+    invalid_arg "Covariance.of_sigma_matrix: not square";
+  Array.init (Augmented.row_count ~np) (fun k ->
+      let i, j = Augmented.row_pair ~np k in
+      Matrix.get sigma i j)

@@ -1,0 +1,12 @@
+(** Sample second moments of the snapshot measurements (eq. 7).
+
+    Given the [m × n_p] matrix of log path transmission rates, produces
+    the vector [Σ̂*] of sample covariances aligned with the rows of the
+    augmented matrix: entry [row_index ~np ~i ~j] holds [côv(Y_i, Y_j)]. *)
+
+val sigma_star : Linalg.Matrix.t -> Linalg.Vector.t
+(** Raises [Invalid_argument] with fewer than two snapshots (rows). *)
+
+val of_sigma_matrix : Linalg.Matrix.t -> Linalg.Vector.t
+(** Flattens an explicit [n_p × n_p] covariance matrix into the same
+    upper-triangular order (useful in tests, where [Σ] is exact). *)

@@ -1,0 +1,41 @@
+let runs series =
+  match Array.length series with
+  | 0 -> []
+  | t_count ->
+      let width = Array.length series.(0) in
+      Array.iter
+        (fun snap ->
+          if Array.length snap <> width then
+            invalid_arg "Duration.runs: ragged series")
+        series;
+      let acc = ref [] in
+      for k = 0 to width - 1 do
+        let current = ref 0 in
+        for t = 0 to t_count - 1 do
+          if series.(t).(k) then incr current
+          else if !current > 0 then begin
+            acc := !current :: !acc;
+            current := 0
+          end
+        done;
+        if !current > 0 then acc := !current :: !acc
+      done;
+      !acc
+
+let distribution lengths =
+  match lengths with
+  | [] -> []
+  | _ ->
+      let total = float_of_int (List.length lengths) in
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun l ->
+          Hashtbl.replace tbl l (1 + Option.value ~default:0 (Hashtbl.find_opt tbl l)))
+        lengths;
+      Hashtbl.fold (fun l c acc -> (l, float_of_int c /. total) :: acc) tbl []
+      |> List.sort compare
+
+let fraction_of_length lengths l =
+  match List.assoc_opt l (distribution lengths) with
+  | Some f -> f
+  | None -> 0.

@@ -1,0 +1,18 @@
+(** Congestion-duration analysis (Section 7.2.2).
+
+    Given a time series of per-link congestion verdicts (one boolean
+    vector per snapshot), extracts maximal runs of consecutive congested
+    snapshots per link and their distribution — the paper reports that
+    99% of congested links stay congested for a single 5-minute snapshot. *)
+
+val runs : bool array array -> int list
+(** [runs series] where [series.(t).(k)] is the verdict for link [k] at
+    snapshot [t]: lengths of all maximal congested runs, over all links.
+    All snapshots must have the same width. *)
+
+val distribution : int list -> (int * float) list
+(** [(length, fraction)] pairs, ascending by length, fractions summing to
+    1 (empty list for no runs). *)
+
+val fraction_of_length : int list -> int -> float
+(** Fraction of runs with exactly the given length. *)

@@ -1,0 +1,30 @@
+(** Deployment diagnostics: is a monitoring setup sufficient to identify
+    link variances?
+
+    Theorem 1 guarantees identifiability for routing matrices produced by
+    alias-reduced shortest-path measurements satisfying T.1–T.2; this
+    module checks the premise {e constructively} on an arbitrary routing
+    matrix by testing the column rank of the augmented matrix, and reports
+    which links are entangled when the check fails (e.g. because paths
+    were dropped, or the matrix was built from partial measurements). *)
+
+type verdict =
+  | Identifiable
+  | Dependent of int list
+      (** column ids whose augmented columns are linearly dependent on
+          the higher-id span: the variances of these links cannot be
+          separated from the others with the given paths *)
+
+val check : Linalg.Sparse.t -> verdict
+(** [check r] builds the augmented columns implicitly and greedily tests
+    independence (highest column id first, so the reported dependent set
+    is the low-id entangled links). O(rows(A) × nc × rank). *)
+
+val is_identifiable : Linalg.Sparse.t -> bool
+
+val assumptions_report :
+  Topology.Graph.t -> Topology.Path.t array -> (string * bool) list
+(** Checks the paper's assumptions on a concrete measured path set:
+    ["columns nonzero"] (every link covered), ["no fluttering"] (T.2),
+    ["single path per pair"] (no duplicate beacon/destination pairs).
+    Each entry pairs a label with whether it holds. *)

@@ -1,0 +1,41 @@
+(** The Loss Inference Algorithm (LIA) — Section 5.3 of the paper.
+
+    Phase 1 learns the link variances from [m] snapshots by solving the
+    second-moment system [Σ̂* = A v]. Phase 2 sorts links by variance,
+    eliminates the quietest columns from the routing matrix until it has
+    full column rank, solves [Y = R* X*] on the target snapshot, and
+    assigns transmission rate 1 (loss 0) to the eliminated links. *)
+
+type result = {
+  variances : float array;
+      (** learnt loss-variance per link (Phase 1 output) *)
+  transmission : float array;
+      (** inferred transmission rate [φ̂ₑ] per link, clamped to (0, 1];
+          eliminated links get exactly 1 *)
+  loss_rates : float array;  (** [1 - transmission], per link *)
+  kept : int array;  (** columns of [R*] *)
+  removed : int array;  (** columns approximated as loss-free *)
+}
+
+val infer :
+  ?estimator:Variance_estimator.options ->
+  r:Linalg.Sparse.t ->
+  y_learn:Linalg.Matrix.t ->
+  y_now:Linalg.Vector.t ->
+  unit ->
+  result
+(** [infer ~r ~y_learn ~y_now ()]: [y_learn] is the [m × n_p] matrix of
+    log path transmission rates of the learning snapshots; [y_now] the
+    log measurement of the snapshot to diagnose. Raises
+    [Invalid_argument] on dimension mismatches. *)
+
+val infer_with_variances :
+  r:Linalg.Sparse.t ->
+  variances:Linalg.Vector.t ->
+  y_now:Linalg.Vector.t ->
+  result
+(** Phase 2 only, for re-using variances learnt once across many target
+    snapshots (as the duration analysis of Section 7.2.2 does). *)
+
+val congested : result -> threshold:float -> bool array
+(** Links whose inferred loss rate exceeds the threshold [tl]. *)

@@ -1,0 +1,90 @@
+module Sparse = Linalg.Sparse
+module Ortho = Linalg.Ortho
+
+type t = { r : Sparse.t; row_space : Ortho.t }
+
+let prepare r =
+  let nc = Sparse.cols r in
+  let row_space = Ortho.create ~dim:nc in
+  for i = 0 to Sparse.rows r - 1 do
+    let v = Array.make nc 0. in
+    Array.iter (fun j -> v.(j) <- 1.) (Sparse.row r i);
+    ignore (Ortho.try_add row_space v)
+  done;
+  { r; row_space }
+
+let indicator t cols =
+  let v = Array.make (Sparse.cols t.r) 0. in
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= Sparse.cols t.r then invalid_arg "Mils: bad column";
+      v.(j) <- 1.)
+    cols;
+  v
+
+let identifiable t cols = Ortho.in_span t.row_space (indicator t cols)
+
+let decompose_path t cols =
+  let n = Array.length cols in
+  let segments = ref [] in
+  let start = ref 0 in
+  while !start < n do
+    (* shortest identifiable extension of cols.(start ..) *)
+    let stop = ref (!start + 1) in
+    while
+      !stop < n && not (identifiable t (Array.sub cols !start (!stop - !start)))
+    do
+      incr stop
+    done;
+    if identifiable t (Array.sub cols !start (!stop - !start)) then begin
+      segments := Array.sub cols !start (!stop - !start) :: !segments;
+      start := !stop
+    end
+    else begin
+      (* the suffix alone is not identifiable: merge into the previous
+         segment (always possible, the full row is identifiable) *)
+      let tail = Array.sub cols !start (n - !start) in
+      (match !segments with
+      | last :: rest -> segments := Array.append last tail :: rest
+      | [] -> segments := [ tail ]);
+      start := n
+    end
+  done;
+  List.rev !segments
+
+let decompose t =
+  Array.init (Sparse.rows t.r) (fun i -> decompose_path t (Sparse.row t.r i))
+
+let segment_loss_rates t ~y_now all_segments =
+  if Array.length y_now <> Sparse.rows t.r then
+    invalid_arg "Mils.segment_loss_rates: measurement length mismatch";
+  (* minimum-norm-ish least squares via regularized normal equations: the
+     value of an identifiable functional is solver-independent *)
+  let x = Sparse.least_squares ~ridge:1e-9 t.r y_now in
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  Array.iter
+    (fun segments ->
+      List.iter
+        (fun seg ->
+          let key = Array.to_list seg in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            let log_rate = Array.fold_left (fun acc j -> acc +. x.(j)) 0. seg in
+            out := (seg, 1. -. exp log_rate) :: !out
+          end)
+        segments)
+    all_segments;
+  List.rev !out
+
+let average_length all_segments =
+  let total = ref 0 and count = ref 0 in
+  Array.iter
+    (fun segments ->
+      List.iter
+        (fun seg ->
+          total := !total + Array.length seg;
+          incr count)
+        segments)
+    all_segments;
+  if !count = 0 then 0. else float_of_int !total /. float_of_int !count

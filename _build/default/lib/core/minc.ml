@@ -1,0 +1,70 @@
+module Multicast = Netsim.Multicast
+
+type result = { transmission : float array; survival : float array }
+
+(* Solve 1 - g/a = prod_c (1 - gc/a) for a in (max gc, 1]. The left side
+   minus right side is monotone on the interval, so bisection applies. *)
+let solve_node ~g ~child_gammas =
+  let lo_bound = Array.fold_left Float.max 0. child_gammas in
+  if g <= 0. || lo_bound <= 0. then 0.
+  else begin
+    let f a =
+      let rhs =
+        Array.fold_left (fun acc gc -> acc *. (1. -. (gc /. a))) 1. child_gammas
+      in
+      1. -. (g /. a) -. rhs
+    in
+    (* f is negative just above max gamma_c and crosses zero once; if it is
+       still negative at 1 the root lies beyond the feasible range, so the
+       survival probability saturates at 1 *)
+    let lo = ref (lo_bound +. 1e-12) and hi = ref 1. in
+    if f !hi <= 0. then 1.
+    else begin
+      for _ = 1 to 60 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if f mid > 0. then hi := mid else lo := mid
+      done;
+      0.5 *. (!lo +. !hi)
+    end
+  end
+
+let infer (tree : Multicast.tree) ~gamma =
+  let nc = Array.length tree.Multicast.parent in
+  if Array.length gamma <> nc then invalid_arg "Minc.infer: gamma length mismatch";
+  let survival = Array.make nc 0. in
+  (* bottom-up: leaves first *)
+  for k = nc - 1 downto 0 do
+    let v = tree.Multicast.order.(k) in
+    let kids = tree.Multicast.children.(v) in
+    if Array.length kids = 0 then survival.(v) <- gamma.(v)
+    else begin
+      let child_gammas = Array.map (fun c -> gamma.(c)) kids in
+      (* a destination that is itself this node contributes like a child
+         observing gamma directly; fold it in conservatively by treating
+         the node's own reception as part of gamma, which the subtree
+         union already does *)
+      survival.(v) <- solve_node ~g:gamma.(v) ~child_gammas
+    end
+  done;
+  let transmission =
+    Array.init nc (fun v ->
+        let p = tree.Multicast.parent.(v) in
+        let upstream = if p < 0 then 1. else survival.(p) in
+        if upstream <= 0. then 0. else Float.min 1. (survival.(v) /. upstream))
+  in
+  { transmission; survival }
+
+let infer_average tree ~gammas =
+  match Array.length gammas with
+  | 0 -> invalid_arg "Minc.infer_average: no snapshots"
+  | n ->
+      let nc = Array.length gammas.(0) in
+      let avg = Array.make nc 0. in
+      Array.iter
+        (fun g ->
+          if Array.length g <> nc then
+            invalid_arg "Minc.infer_average: ragged gammas";
+          Array.iteri (fun k x -> avg.(k) <- avg.(k) +. x) g)
+        gammas;
+      let avg = Array.map (fun x -> x /. float_of_int n) avg in
+      infer tree ~gamma:avg

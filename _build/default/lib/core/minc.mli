@@ -1,0 +1,29 @@
+(** The MINC multicast loss estimator (Cáceres, Duffield, Horowitz &
+    Towsley 1999) — the classic method behind the first column of the
+    paper's Table 1.
+
+    From the per-subtree reception fractions [gamma] of a multicast
+    campaign, MINC recovers every link's transmission rate on the tree:
+    with [A_k] the probability that a probe survives from the root
+    through link [k], the subtree observations satisfy
+
+    [1 - gamma_k / A_k = prod_{c in children(k)} (1 - gamma_c / A_k)]
+
+    whose unique root in (max_c gamma_c, 1] is found by bisection; link
+    rates are then [A_k / A_parent(k)]. Leaf links have [A = gamma]
+    directly. *)
+
+type result = {
+  transmission : float array;  (** per virtual link *)
+  survival : float array;  (** [A_k]: root-to-below-link-k pass probability *)
+}
+
+val infer : Netsim.Multicast.tree -> gamma:float array -> result
+(** Raises [Invalid_argument] on a length mismatch. Degenerate nodes
+    (zero reception anywhere below) get transmission 0. *)
+
+val infer_average :
+  Netsim.Multicast.tree -> gammas:float array array -> result
+(** Pools several snapshots' [gamma] vectors (e.g. a learning window) by
+    averaging before solving, the standard way MINC consumes longer
+    campaigns. *)

@@ -1,0 +1,48 @@
+module Sparse = Linalg.Sparse
+module Matrix = Linalg.Matrix
+
+type t = {
+  r : Sparse.t;
+  window : int;
+  buffer : Linalg.Vector.t Queue.t;
+  mutable cached_variances : Linalg.Vector.t option;
+}
+
+let create ~r ~window =
+  if window < 2 then invalid_arg "Monitor.create: window < 2";
+  { r; window; buffer = Queue.create (); cached_variances = None }
+
+let observe t y =
+  if Array.length y <> Sparse.rows t.r then
+    invalid_arg "Monitor.observe: measurement length mismatch";
+  Queue.add (Array.copy y) t.buffer;
+  if Queue.length t.buffer > t.window then ignore (Queue.pop t.buffer);
+  t.cached_variances <- None
+
+let size t = Queue.length t.buffer
+
+let ready t = size t >= t.window
+
+let window_matrix t =
+  let n = size t in
+  let rows = Array.make n [||] in
+  let k = ref 0 in
+  Queue.iter
+    (fun y ->
+      rows.(!k) <- y;
+      incr k)
+    t.buffer;
+  Matrix.init n (Sparse.rows t.r) (fun l i -> rows.(l).(i))
+
+let variances t =
+  match t.cached_variances with
+  | Some v -> v
+  | None ->
+      if size t < 2 then failwith "Monitor.variances: fewer than 2 snapshots";
+      let v = Variance_estimator.estimate_streaming ~r:t.r ~y:(window_matrix t) () in
+      t.cached_variances <- Some v;
+      v
+
+let infer t ~y_now = Lia.infer_with_variances ~r:t.r ~variances:(variances t) ~y_now
+
+let anomaly_model t = Anomaly.learn (window_matrix t)

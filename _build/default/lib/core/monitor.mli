@@ -1,0 +1,37 @@
+(** Streaming LIA: a sliding window of snapshots with on-demand inference.
+
+    Deployments collect snapshots continuously; this wrapper keeps the
+    last [window] measurements, re-learns variances when asked, and runs
+    Phase 2 against any fresh snapshot — the operational mode of the
+    PlanetLab experiment (learn on the previous [m] snapshots, diagnose
+    the next). Learnt variances are cached and invalidated whenever the
+    window content changes. *)
+
+type t
+
+val create : r:Linalg.Sparse.t -> window:int -> t
+(** Raises [Invalid_argument] when [window < 2]. *)
+
+val observe : t -> Linalg.Vector.t -> unit
+(** Appends a snapshot measurement (log path transmission rates), evicting
+    the oldest when the window is full. Raises [Invalid_argument] on a
+    length mismatch. *)
+
+val size : t -> int
+(** Snapshots currently held. *)
+
+val ready : t -> bool
+(** True once the window is full. *)
+
+val window_matrix : t -> Linalg.Matrix.t
+(** The current window as a snapshot matrix (oldest row first). *)
+
+val variances : t -> Linalg.Vector.t
+(** Learnt link variances over the current window (cached). Raises
+    [Failure] when fewer than two snapshots are held. *)
+
+val infer : t -> y_now:Linalg.Vector.t -> Lia.result
+(** Phase 2 on [y_now] with the cached variances. *)
+
+val anomaly_model : t -> Anomaly.model
+(** Per-path baseline over the current window. *)

@@ -1,0 +1,50 @@
+module Sparse = Linalg.Sparse
+module Vector = Linalg.Vector
+module Ortho = Linalg.Ortho
+
+type result = { kept : int array; removed : int array }
+
+let dense_column r j =
+  let col = Array.make (Sparse.rows r) 0. in
+  for i = 0 to Sparse.rows r - 1 do
+    if Sparse.get r i j then col.(i) <- 1.
+  done;
+  col
+
+(* Columns in descending variance order; index ties broken towards higher
+   ids first so that the ascending removal order of the paper (stable sort,
+   remove from the front) is mirrored exactly. *)
+let descending_order r v =
+  if Array.length v <> Sparse.cols r then
+    invalid_arg "Rank_reduction: variance length mismatch";
+  let asc = Vector.sort_indices v in
+  let n = Array.length asc in
+  Array.init n (fun k -> asc.(n - 1 - k))
+
+let scan ~stop_at_first_dependent r v =
+  let order = descending_order r v in
+  let basis = Ortho.create ~dim:(Sparse.rows r) in
+  let kept = ref [] and removed = ref [] in
+  let stopped = ref false in
+  Array.iter
+    (fun j ->
+      if !stopped then removed := j :: !removed
+      else if Ortho.try_add basis (dense_column r j) then kept := j :: !kept
+      else begin
+        removed := j :: !removed;
+        if stop_at_first_dependent then stopped := true
+      end)
+    order;
+  { kept = Array.of_list (List.rev !kept); removed = Array.of_list (List.rev !removed) }
+
+let eliminate r v = scan ~stop_at_first_dependent:true r v
+
+let eliminate_greedy r v = scan ~stop_at_first_dependent:false r v
+
+let is_full_column_rank r =
+  let basis = Ortho.create ~dim:(Sparse.rows r) in
+  let ok = ref true in
+  for j = 0 to Sparse.cols r - 1 do
+    if !ok && not (Ortho.try_add basis (dense_column r j)) then ok := false
+  done;
+  !ok

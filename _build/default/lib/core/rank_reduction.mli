@@ -1,0 +1,27 @@
+(** Phase 2, step 2 of LIA (Section 5.2): eliminate the least-congested
+    links from the routing matrix until it has full column rank.
+
+    Links are ordered by their learnt variances (Assumption S.3 makes
+    variance a proxy for congestion level); the paper's loop removes the
+    lowest-variance column while the matrix is column-rank deficient.
+    That procedure keeps exactly the longest full-column-rank suffix of
+    the variance ordering, which we find with a single descending
+    Gram–Schmidt sweep. *)
+
+type result = {
+  kept : int array;  (** column ids of [R*], in descending variance order *)
+  removed : int array;  (** eliminated columns (inferred loss rate 0) *)
+}
+
+val eliminate : Linalg.Sparse.t -> Linalg.Vector.t -> result
+(** [eliminate r v]: the paper's rule. [v] must have one entry per column
+    of [r]. Raises [Invalid_argument] on a length mismatch. *)
+
+val eliminate_greedy : Linalg.Sparse.t -> Linalg.Vector.t -> result
+(** Ablation: instead of stopping at the first dependent column, keep
+    scanning and retain every column independent of the higher-variance
+    ones already kept. Keeps at least as many columns as {!eliminate};
+    agreement between the two is a good sanity indicator. *)
+
+val is_full_column_rank : Linalg.Sparse.t -> bool
+(** Whether all columns are linearly independent. *)

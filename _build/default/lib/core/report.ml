@@ -1,0 +1,50 @@
+type options = { threshold : float; top : int; show_edges : bool }
+
+let default_options = { threshold = 0.002; top = 20; show_edges = true }
+
+let summary (result : Lia.result) ~threshold =
+  let congested =
+    Array.fold_left
+      (fun acc l -> if l > threshold then acc + 1 else acc)
+      0 result.Lia.loss_rates
+  in
+  Printf.sprintf "kept %d columns, eliminated %d; %d links above tl = %g"
+    (Array.length result.Lia.kept)
+    (Array.length result.Lia.removed)
+    congested threshold
+
+let table ?(options = default_options) ?graph ~routing (result : Lia.result) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (summary result ~threshold:options.threshold);
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (Printf.sprintf "%-6s %-11s %-11s %-10s %s\n" "link" "loss rate" "variance"
+       "verdict"
+       (if options.show_edges then "edges" else ""));
+  let order = Linalg.Vector.sort_indices ~descending:true result.Lia.loss_rates in
+  Array.iteri
+    (fun rank k ->
+      if rank < options.top then begin
+        let edges =
+          if options.show_edges then
+            routing.Topology.Routing.vlinks.(k)
+            |> Array.to_list |> List.map string_of_int |> String.concat ","
+          else ""
+        in
+        let location =
+          match graph with
+          | None -> ""
+          | Some g ->
+              if As_location.vlink_is_inter g routing k then " (inter-AS)"
+              else " (intra-AS)"
+        in
+        Buffer.add_string b
+          (Printf.sprintf "%-6d %-11.5f %-11.3e %-10s %s%s\n" k
+             result.Lia.loss_rates.(k)
+             result.Lia.variances.(k)
+             (if result.Lia.loss_rates.(k) > options.threshold then "CONGESTED"
+              else "good")
+             edges location)
+      end)
+    order;
+  Buffer.contents b

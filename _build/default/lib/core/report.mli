@@ -1,0 +1,27 @@
+(** Human-readable inference reports.
+
+    Formats an LIA result against its routing context: per-link loss
+    rates with variances, congestion verdicts, virtual-link membership,
+    and optional AS location — the output an operator reads. Used by the
+    CLI and the examples. *)
+
+type options = {
+  threshold : float;  (** congestion threshold [tl] *)
+  top : int;  (** how many links to list (lossiest first) *)
+  show_edges : bool;  (** append the physical edge ids of each virtual link *)
+}
+
+val default_options : options
+(** [tl] = 0.002, top 20, edges shown. *)
+
+val summary : Lia.result -> threshold:float -> string
+(** One line: kept/removed column counts and congested-link count. *)
+
+val table :
+  ?options:options ->
+  ?graph:Topology.Graph.t ->
+  routing:Topology.Routing.reduced ->
+  Lia.result ->
+  string
+(** Multi-line report. When [graph] is given, each link is annotated
+    inter-/intra-AS. *)

@@ -1,0 +1,67 @@
+module Sparse = Linalg.Sparse
+
+let infer r ~bad_paths =
+  let np = Sparse.rows r and nc = Sparse.cols r in
+  if Array.length bad_paths <> np then invalid_arg "Scfs.infer: length mismatch";
+  (* candidate links: covered, and on no good path *)
+  let on_good = Array.make nc false in
+  let covered = Array.make nc false in
+  for i = 0 to np - 1 do
+    Array.iter
+      (fun j ->
+        covered.(j) <- true;
+        if not bad_paths.(i) then on_good.(j) <- true)
+      (Sparse.row r i)
+  done;
+  let candidate = Array.init nc (fun j -> covered.(j) && not on_good.(j)) in
+  (* bad paths each candidate would explain *)
+  let explains = Array.make nc [] in
+  let unexplained = ref [] in
+  for i = np - 1 downto 0 do
+    if bad_paths.(i) then begin
+      unexplained := i :: !unexplained;
+      Array.iter
+        (fun j -> if candidate.(j) then explains.(j) <- i :: explains.(j))
+        (Sparse.row r i)
+    end
+  done;
+  (* greedy set cover: repeatedly take the candidate explaining the most
+     still-unexplained bad paths (ties to the lowest link id) *)
+  let chosen = Array.make nc false in
+  let still = Hashtbl.create 64 in
+  List.iter (fun i -> Hashtbl.replace still i ()) !unexplained;
+  let remaining = ref (Hashtbl.length still) in
+  while !remaining > 0 do
+    let best = ref (-1) and best_gain = ref 0 in
+    for j = 0 to nc - 1 do
+      if candidate.(j) && not chosen.(j) then begin
+        let gain =
+          List.length (List.filter (Hashtbl.mem still) explains.(j))
+        in
+        if gain > !best_gain then begin
+          best := j;
+          best_gain := gain
+        end
+      end
+    done;
+    if !best < 0 then remaining := 0 (* some bad path has no candidate link *)
+    else begin
+      chosen.(!best) <- true;
+      List.iter
+        (fun i ->
+          if Hashtbl.mem still i then begin
+            Hashtbl.remove still i;
+            decr remaining
+          end)
+        explains.(!best)
+    end
+  done;
+  chosen
+
+let classify_paths r ~y_now ~threshold =
+  let np = Sparse.rows r in
+  if Array.length y_now <> np then invalid_arg "Scfs.classify_paths: length mismatch";
+  Array.init np (fun i ->
+      let len = Array.length (Sparse.row r i) in
+      let best_case = float_of_int len *. log (1. -. threshold) in
+      y_now.(i) < best_case)

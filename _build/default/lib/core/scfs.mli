@@ -1,0 +1,23 @@
+(** Smallest Consistent Failure Set — the single-snapshot baseline
+    (Duffield 2006; Padmanabhan et al. 2003) that Figure 5 compares LIA
+    against.
+
+    Inputs are binary: each path is good or bad in the current snapshot.
+    A consistent failure set must contain at least one link of every bad
+    path and no link of any good path; SCFS looks for a smallest one,
+    which encodes the priors that links fail independently with equal
+    probability and that failures are rare. On trees the greedy
+    construction below returns exactly Duffield's SCFS (the highest
+    all-bad-subtree links); on meshes it is the standard greedy set-cover
+    approximation. *)
+
+val infer : Linalg.Sparse.t -> bad_paths:bool array -> bool array
+(** [infer r ~bad_paths]: congestion verdict per link (column). Links on
+    any good path are never flagged. Raises [Invalid_argument] on a
+    length mismatch. *)
+
+val classify_paths :
+  Linalg.Sparse.t -> y_now:Linalg.Vector.t -> threshold:float -> bool array
+(** Binarize a snapshot measurement: path [i] is bad when its measured
+    transmission rate is below [(1 - threshold) ^ length], i.e. worse
+    than a path of all-good links could plausibly be. *)

@@ -1,0 +1,39 @@
+(** The dual problem: traffic-matrix estimation from link loads (Vardi
+    1996; Cao et al. 2000 — references [30, 8] of the paper).
+
+    Section 4 presents Theorem 1 as the dual of Cao et al.'s result: there
+    the {e measurements} are per-link byte counts and the {e unknowns} are
+    origin–destination flows, and under Poisson traffic the flow
+    variances equal their means, so the second-moment system
+    [Σ* = A λ] — with [A] the augmented matrix of the link-by-flow
+    routing matrix — identifies the traffic matrix. This module
+    implements that dual with the very same machinery (the augmented
+    system and the streaming moment solver are shared), plus a Poisson
+    traffic simulator to exercise it. *)
+
+type t = {
+  routes : Linalg.Sparse.t;
+      (** link-by-flow incidence: row = link, column = OD flow *)
+}
+
+val make : routes:Linalg.Sparse.t -> t
+
+val of_testbed : Topology.Testbed.t -> t * (int * int) array
+(** Builds the link-by-flow matrix of all beacon→destination flows routed
+    on shortest paths; returns the OD pair of each flow column. Links
+    never used by any flow are dropped. *)
+
+val simulate :
+  Nstats.Rng.t -> t -> means:Linalg.Vector.t -> count:int -> Linalg.Matrix.t
+(** [count] epochs of independent Poisson flow volumes, aggregated into
+    per-link loads: the [count × n_links] observation matrix. *)
+
+val estimate_means :
+  t -> loads:Linalg.Matrix.t -> Linalg.Vector.t
+(** The Vardi estimator: flow variances from link-load covariances (the
+    dual of eq. 8), which under Poisson traffic are the flow means.
+    Estimates are clamped at 0. *)
+
+val identifiable : t -> bool
+(** Whether the flow variances are identifiable from these links — the
+    dual of the Theorem 1 check. *)

@@ -1,0 +1,30 @@
+(** Bootstrap confidence intervals for the learnt link variances.
+
+    The Phase-1 estimate is a method-of-moments fit to [m] snapshots;
+    resampling snapshots with replacement and re-solving gives percentile
+    intervals per link, which quantify whether a link's variance (and
+    hence its congestion ranking) is trustworthy at the current [m] — the
+    practical question behind Figure 5's dependence on [m]. *)
+
+type interval = { lo : float; estimate : float; hi : float }
+
+val bootstrap :
+  ?replicates:int ->
+  ?confidence:float ->
+  Nstats.Rng.t ->
+  r:Linalg.Sparse.t ->
+  y:Linalg.Matrix.t ->
+  interval array
+(** [bootstrap rng ~r ~y] with default 100 replicates at 90% confidence.
+    Each replicate resamples the snapshot rows of [y]. The [estimate]
+    field is the fit on the original sample. Raises [Invalid_argument]
+    for fewer than two snapshots, bad confidence, or non-positive
+    replicate counts. *)
+
+val stable_ranking :
+  interval array -> top:int -> bool
+(** Whether the [top] highest-variance links are separated from the rest
+    at the given confidence: the lower bounds of the top group all exceed
+    the upper bounds of the others' complement... specifically, the
+    minimum [lo] among the top group is at least the maximum [hi] among
+    the remaining links. A true result means Phase 2's cut is robust. *)

@@ -1,0 +1,90 @@
+module Sparse = Linalg.Sparse
+module Qr = Linalg.Qr
+
+type method_ = Normal_equations | Dense_qr
+
+type options = { method_ : method_; drop_negative : bool; clamp : bool }
+
+let default_options =
+  { method_ = Normal_equations; drop_negative = true; clamp = true }
+
+let solve ?(options = default_options) ~a ~sigma_star () =
+  if Array.length sigma_star <> Sparse.rows a then
+    invalid_arg "Variance_estimator.solve: rhs length mismatch";
+  let a, rhs =
+    if options.drop_negative then begin
+      let keep = ref [] in
+      Array.iteri (fun k s -> if s >= 0. then keep := k :: !keep) sigma_star;
+      let idx = Array.of_list (List.rev !keep) in
+      (Sparse.select_rows a idx, Array.map (fun k -> sigma_star.(k)) idx)
+    end
+    else (a, sigma_star)
+  in
+  let v =
+    match options.method_ with
+    | Normal_equations -> Sparse.least_squares a rhs
+    | Dense_qr -> Qr.solve (Sparse.to_dense a) rhs
+  in
+  if options.clamp then Array.map (fun x -> Float.max 0. x) v else v
+
+let estimate_streaming ?(drop_negative = true) ?(clamp = true) ~r ~y () =
+  let np = Sparse.rows r and nc = Sparse.cols r in
+  let m = Linalg.Matrix.rows y in
+  if Linalg.Matrix.cols y <> np then
+    invalid_arg "Variance_estimator.estimate_streaming: width mismatch";
+  if m < 2 then
+    invalid_arg "Variance_estimator.estimate_streaming: need at least 2 snapshots";
+  (* centered measurement columns, one array per path, for cheap pair
+     covariances *)
+  let centered =
+    Array.init np (fun i ->
+        let col = Array.init m (fun l -> Linalg.Matrix.get y l i) in
+        let mu = Array.fold_left ( +. ) 0. col /. float_of_int m in
+        Array.map (fun x -> x -. mu) col)
+  in
+  let cov i j =
+    let ci = centered.(i) and cj = centered.(j) in
+    let acc = ref 0. in
+    for l = 0 to m - 1 do
+      acc := !acc +. (ci.(l) *. cj.(l))
+    done;
+    !acc /. float_of_int (m - 1)
+  in
+  (* accumulate G = AᵀA and b = AᵀΣ̂* over non-empty augmented rows *)
+  let g = Array.init nc (fun _ -> Array.make nc 0.) in
+  let b = Array.make nc 0. in
+  let add_row row s =
+    let len = Array.length row in
+    for a = 0 to len - 1 do
+      let ja = row.(a) in
+      b.(ja) <- b.(ja) +. s;
+      let gja = g.(ja) in
+      for c = 0 to len - 1 do
+        gja.(row.(c)) <- gja.(row.(c)) +. 1.
+      done
+    done
+  in
+  for i = 0 to np - 1 do
+    let ri = Sparse.row r i in
+    for j = i to np - 1 do
+      let row = if i = j then ri else Sparse.row_product ri (Sparse.row r j) in
+      if Array.length row > 0 then begin
+        let s = cov i j in
+        if s >= 0. || not drop_negative then add_row row s
+      end
+    done
+  done;
+  let gm = Linalg.Matrix.init nc nc (fun i j -> g.(i).(j)) in
+  let f = Linalg.Cholesky.factorize_regularized gm in
+  let v = Linalg.Cholesky.solve_vec f b in
+  if clamp then Array.map (fun x -> Float.max 0. x) v else v
+
+let estimate ?(options = default_options) ~r ~y () =
+  match options.method_ with
+  | Normal_equations ->
+      estimate_streaming ~drop_negative:options.drop_negative
+        ~clamp:options.clamp ~r ~y ()
+  | Dense_qr ->
+      let a = Augmented.build r in
+      let sigma_star = Covariance.sigma_star y in
+      solve ~options ~a ~sigma_star ()

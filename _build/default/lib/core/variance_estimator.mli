@@ -1,0 +1,50 @@
+(** Phase 1 of LIA: solving [Σ̂* = A v] for the link variances (Sec 5.1).
+
+    Theorem 1 guarantees [A] has full column rank, so with exact
+    covariances the solution is unique. With sampled covariances the
+    system is inconsistent; we solve it in the least-squares sense, by
+    default through the sparse normal equations (the paper uses a dense
+    Householder QR, also available here as an ablation). Negative sample
+    covariances — pure sampling artifacts, as covariances of path losses
+    are non-negative under the model — are dropped by default, as in the
+    paper's experiments. *)
+
+type method_ = Normal_equations | Dense_qr
+
+type options = {
+  method_ : method_;
+  drop_negative : bool;  (** ignore equations with [Σ̂ᵢᵢ' < 0] (default true) *)
+  clamp : bool;  (** clamp inferred variances at 0 (default true) *)
+}
+
+val default_options : options
+(** [{ method_ = Normal_equations; drop_negative = true; clamp = true }] *)
+
+val solve :
+  ?options:options -> a:Linalg.Sparse.t -> sigma_star:Linalg.Vector.t -> unit ->
+  Linalg.Vector.t
+(** The estimated link variance vector [v̂] (length = columns of [a]).
+    Raises [Invalid_argument] on a length mismatch and [Failure] if the
+    dense QR path meets a rank-deficient system. *)
+
+val estimate :
+  ?options:options -> r:Linalg.Sparse.t -> y:Linalg.Matrix.t -> unit ->
+  Linalg.Vector.t
+(** Convenience: builds [A] from [r], [Σ̂*] from the snapshot matrix [y]
+    (eq. 7), and solves. With the default [Normal_equations] method this
+    dispatches to {!estimate_streaming}, which is mathematically identical
+    but never materializes [A]. *)
+
+val estimate_streaming :
+  ?drop_negative:bool ->
+  ?clamp:bool ->
+  r:Linalg.Sparse.t ->
+  y:Linalg.Matrix.t ->
+  unit ->
+  Linalg.Vector.t
+(** Solves the normal equations of [Σ̂* = A v] in one pass over the path
+    pairs, accumulating [AᵀA] and [AᵀΣ̂*] directly: pairs of paths that
+    share no link contribute nothing and are skipped, so memory is
+    O(n_c²) regardless of the n_p(n_p+1)/2 virtual rows. This is what
+    makes the PlanetLab-scale systems (hundreds of thousands of path
+    pairs) solvable in seconds, as reported in Section 6.4. *)

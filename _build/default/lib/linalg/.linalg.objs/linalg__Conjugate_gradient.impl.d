@@ -1,0 +1,1 @@
+lib/linalg/conjugate_gradient.ml: Array Matrix Option Vector

@@ -1,0 +1,1 @@
+lib/linalg/ortho.mli: Vector

@@ -1,0 +1,32 @@
+(** Cholesky factorization of symmetric positive-definite matrices.
+
+    Used to solve the normal equations [AᵀA v = AᵀΣ*] that arise from the
+    variance-identification system (eq. 8 of the paper) when the augmented
+    matrix is too tall to factor densely. *)
+
+exception Not_positive_definite
+
+type t
+
+val factorize : Matrix.t -> t
+(** [factorize m] computes the lower-triangular [L] with [m = L Lᵀ].
+    Raises [Not_positive_definite] if a pivot is not strictly positive and
+    [Invalid_argument] if [m] is not square. The strictly upper part of [m]
+    is ignored (assumed symmetric). *)
+
+val factorize_regularized : ?ridge:float -> Matrix.t -> t
+(** Like {!factorize} but retries with [ridge * mean_diag] added to the
+    diagonal on failure, doubling the ridge up to a bound; raises
+    [Not_positive_definite] only if even the heavily regularized matrix
+    fails. Default initial [ridge] is [1e-10]. *)
+
+val lower : t -> Matrix.t
+
+val solve_vec : t -> Vector.t -> Vector.t
+(** [solve_vec f b] solves [L Lᵀ x = b]. *)
+
+val solve : Matrix.t -> Vector.t -> Vector.t
+(** One-shot [factorize] + [solve_vec]. *)
+
+val log_det : t -> float
+(** Log-determinant of the factored matrix. *)

@@ -1,0 +1,41 @@
+type stats = { iterations : int; residual_norm : float }
+
+let solve_matfree ?(tol = 1e-10) ?max_iter ~dim ~mul b =
+  if Array.length b <> dim then
+    invalid_arg "Conjugate_gradient.solve_matfree: dimension mismatch";
+  if tol <= 0. then invalid_arg "Conjugate_gradient: non-positive tolerance";
+  let max_iter = Option.value max_iter ~default:(max 1 dim) in
+  let x = Vector.zeros dim in
+  let r = Vector.copy b in
+  let p = Vector.copy b in
+  let rs = ref (Vector.dot r r) in
+  let threshold = tol *. Vector.norm2 b in
+  let iters = ref 0 in
+  let continue_ = ref (sqrt !rs > threshold && threshold >= 0.) in
+  if Vector.norm2 b = 0. then continue_ := false;
+  while !continue_ && !iters < max_iter do
+    incr iters;
+    let ap = mul p in
+    let pap = Vector.dot p ap in
+    if pap <= 0. then continue_ := false (* not SPD or converged to noise *)
+    else begin
+      let alpha = !rs /. pap in
+      Vector.axpy alpha p x;
+      Vector.axpy (-.alpha) ap r;
+      let rs' = Vector.dot r r in
+      if sqrt rs' <= threshold then continue_ := false
+      else begin
+        let beta = rs' /. !rs in
+        for i = 0 to dim - 1 do
+          p.(i) <- r.(i) +. (beta *. p.(i))
+        done
+      end;
+      rs := rs'
+    end
+  done;
+  (x, { iterations = !iters; residual_norm = Vector.norm2 r })
+
+let solve ?tol ?max_iter m b =
+  let n = Matrix.rows m in
+  if Matrix.cols m <> n then invalid_arg "Conjugate_gradient.solve: not square";
+  solve_matfree ?tol ?max_iter ~dim:n ~mul:(fun x -> Matrix.mul_vec m x) b

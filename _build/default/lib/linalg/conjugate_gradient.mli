@@ -1,0 +1,31 @@
+(** Conjugate gradient for symmetric positive-definite systems.
+
+    An iterative alternative to {!Cholesky} for the normal equations
+    [AᵀA v = AᵀΣ*]: O(n²) per iteration with early termination, which
+    wins when the system is large and well-conditioned (the augmented
+    Gram matrices of dense measurement campaigns are). Exposed both as a
+    dense-matrix solve and as a matrix-free variant taking the
+    matrix-vector product, so callers can keep [AᵀA] implicit. *)
+
+type stats = { iterations : int; residual_norm : float }
+
+val solve :
+  ?tol:float ->
+  ?max_iter:int ->
+  Matrix.t ->
+  Vector.t ->
+  Vector.t * stats
+(** [solve m b] for SPD [m]. Stops when the residual 2-norm falls below
+    [tol * norm b] (default [tol = 1e-10]) or after [max_iter] iterations
+    (default: dimension of the system). Raises [Invalid_argument] on
+    non-square or mismatched inputs. *)
+
+val solve_matfree :
+  ?tol:float ->
+  ?max_iter:int ->
+  dim:int ->
+  mul:(Vector.t -> Vector.t) ->
+  Vector.t ->
+  Vector.t * stats
+(** Matrix-free variant: [mul x] must compute [M x] for the implicit SPD
+    matrix [M]. *)

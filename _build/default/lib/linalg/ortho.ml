@@ -1,0 +1,52 @@
+type t = { dimension : int; mutable basis : Vector.t list }
+
+let create ~dim =
+  if dim < 0 then invalid_arg "Ortho.create: negative dimension";
+  { dimension = dim; basis = [] }
+
+let dim b = b.dimension
+
+let size b = List.length b.basis
+
+(* Project out the span in place; two passes of modified Gram-Schmidt keep
+   the residual orthogonal to working precision even for nearly dependent
+   inputs. *)
+let orthogonalize b v =
+  let w = Vector.copy v in
+  let pass () =
+    List.iter
+      (fun q ->
+        let c = Vector.dot q w in
+        if c <> 0. then Vector.axpy (-.c) q w)
+      b.basis
+  in
+  pass ();
+  pass ();
+  w
+
+let residual_norm b v =
+  if Array.length v <> b.dimension then invalid_arg "Ortho: dimension mismatch";
+  Vector.norm2 (orthogonalize b v)
+
+let independent ?(tol = 1e-8) b v =
+  let nv = Vector.norm2 v in
+  if nv = 0. then None
+  else begin
+    let w = orthogonalize b v in
+    let nw = Vector.norm2 w in
+    if nw > tol *. nv then Some (Vector.scale (1. /. nw) w) else None
+  end
+
+let try_add ?tol b v =
+  if Array.length v <> b.dimension then invalid_arg "Ortho.try_add: dimension mismatch";
+  match independent ?tol b v with
+  | Some q ->
+      b.basis <- q :: b.basis;
+      true
+  | None -> false
+
+let in_span ?tol b v =
+  if Array.length v <> b.dimension then invalid_arg "Ortho.in_span: dimension mismatch";
+  independent ?tol b v = None
+
+let copy b = { b with basis = List.map Vector.copy b.basis }

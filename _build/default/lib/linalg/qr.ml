@@ -1,0 +1,174 @@
+type t = {
+  m : int;
+  n : int;
+  a : Matrix.t; (* R in and above the diagonal, Householder vectors below *)
+  beta : float array; (* Householder coefficients, one per reflection *)
+  piv : int array; (* piv.(j) = original index of factored column j *)
+}
+
+(* Build the Householder reflection annihilating a.(k+1..m-1, k); store the
+   vector below the diagonal with the implicit convention v.(k) = 1. *)
+let house_column a m k =
+  let alpha = ref 0. in
+  for i = k to m - 1 do
+    let x = Matrix.get a i k in
+    alpha := !alpha +. (x *. x)
+  done;
+  let alpha = sqrt !alpha in
+  if alpha = 0. then 0.
+  else begin
+    let akk = Matrix.get a k k in
+    let alpha = if akk > 0. then -.alpha else alpha in
+    let v0 = akk -. alpha in
+    (* v = x - alpha e1; normalize so v.(k) = 1 *)
+    if v0 = 0. then 0.
+    else begin
+      for i = k + 1 to m - 1 do
+        Matrix.set a i k (Matrix.get a i k /. v0)
+      done;
+      let vtv = ref 1. in
+      for i = k + 1 to m - 1 do
+        let v = Matrix.get a i k in
+        vtv := !vtv +. (v *. v)
+      done;
+      Matrix.set a k k alpha;
+      2. /. !vtv
+    end
+  end
+
+let apply_house_to_col a m k beta j =
+  (* column j of the trailing matrix: x <- x - beta v (v' x) *)
+  let vtx = ref (Matrix.get a k j) in
+  for i = k + 1 to m - 1 do
+    vtx := !vtx +. (Matrix.get a i k *. Matrix.get a i j)
+  done;
+  let s = beta *. !vtx in
+  Matrix.set a k j (Matrix.get a k j -. s);
+  for i = k + 1 to m - 1 do
+    Matrix.set a i j (Matrix.get a i j -. (s *. Matrix.get a i k))
+  done
+
+let factorize_gen ~pivot mat =
+  let m = Matrix.rows mat and n = Matrix.cols mat in
+  let a = Matrix.copy mat in
+  let steps = min m n in
+  let beta = Array.make (max steps 0) 0. in
+  let piv = Array.init n (fun j -> j) in
+  let colnorm2 =
+    if pivot then Array.init n (fun j -> Vector.dot (Matrix.col a j) (Matrix.col a j))
+    else [||]
+  in
+  let swap_cols j1 j2 =
+    if j1 <> j2 then begin
+      for i = 0 to m - 1 do
+        let x = Matrix.get a i j1 in
+        Matrix.set a i j1 (Matrix.get a i j2);
+        Matrix.set a i j2 x
+      done;
+      let p = piv.(j1) in
+      piv.(j1) <- piv.(j2);
+      piv.(j2) <- p;
+      let c = colnorm2.(j1) in
+      colnorm2.(j1) <- colnorm2.(j2);
+      colnorm2.(j2) <- c
+    end
+  in
+  for k = 0 to steps - 1 do
+    if pivot then begin
+      let best = ref k in
+      for j = k + 1 to n - 1 do
+        if colnorm2.(j) > colnorm2.(!best) then best := j
+      done;
+      swap_cols k !best
+    end;
+    let b = house_column a m k in
+    beta.(k) <- b;
+    if b <> 0. then
+      for j = k + 1 to n - 1 do
+        apply_house_to_col a m k b j
+      done;
+    if pivot then
+      for j = k + 1 to n - 1 do
+        let rkj = Matrix.get a k j in
+        colnorm2.(j) <- Float.max 0. (colnorm2.(j) -. (rkj *. rkj))
+      done
+  done;
+  { m; n; a; beta; piv }
+
+let factorize mat = factorize_gen ~pivot:false mat
+
+let factorize_pivoted mat = factorize_gen ~pivot:true mat
+
+let pivots f = Array.copy f.piv
+
+let r f =
+  let k = min f.m f.n in
+  Matrix.init k f.n (fun i j -> if j >= i then Matrix.get f.a i j else 0.)
+
+let rank ?(rtol = 1e-10) f =
+  let k = min f.m f.n in
+  let dmax = ref 0. in
+  for i = 0 to k - 1 do
+    dmax := Float.max !dmax (Float.abs (Matrix.get f.a i i))
+  done;
+  if !dmax = 0. then 0
+  else begin
+    let cnt = ref 0 in
+    for i = 0 to k - 1 do
+      if Float.abs (Matrix.get f.a i i) > rtol *. !dmax then incr cnt
+    done;
+    !cnt
+  end
+
+let apply_qt f b =
+  if Array.length b <> f.m then invalid_arg "Qr.apply_qt: dimension mismatch";
+  let y = Array.copy b in
+  for k = 0 to Array.length f.beta - 1 do
+    let beta = f.beta.(k) in
+    if beta <> 0. then begin
+      let vty = ref y.(k) in
+      for i = k + 1 to f.m - 1 do
+        vty := !vty +. (Matrix.get f.a i k *. y.(i))
+      done;
+      let s = beta *. !vty in
+      y.(k) <- y.(k) -. s;
+      for i = k + 1 to f.m - 1 do
+        y.(i) <- y.(i) -. (s *. Matrix.get f.a i k)
+      done
+    end
+  done;
+  y
+
+let solve_r f c =
+  let n = f.n in
+  if f.m < n then failwith "Qr.solve_r: underdetermined system";
+  if Array.length c < n then invalid_arg "Qr.solve_r: dimension mismatch";
+  let x = Array.make n 0. in
+  let dmax = ref 0. in
+  for i = 0 to n - 1 do
+    dmax := Float.max !dmax (Float.abs (Matrix.get f.a i i))
+  done;
+  for i = n - 1 downto 0 do
+    let d = Matrix.get f.a i i in
+    if Float.abs d <= 1e-13 *. !dmax || d = 0. then
+      failwith "Qr.solve_r: singular triangular factor";
+    let acc = ref c.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Matrix.get f.a i j *. x.(j))
+    done;
+    x.(i) <- !acc /. d
+  done;
+  x
+
+let least_squares f b =
+  let qtb = apply_qt f b in
+  let x = solve_r f qtb in
+  let out = Array.make f.n 0. in
+  for j = 0 to f.n - 1 do
+    out.(f.piv.(j)) <- x.(j)
+  done;
+  out
+
+let matrix_rank ?rtol mat = rank ?rtol (factorize_pivoted mat)
+
+let solve mat b = least_squares (factorize mat) b

@@ -1,0 +1,189 @@
+type row = int array
+
+type t = { nrows : int; ncols : int; data : row array }
+
+let validate_row ncols r =
+  let ok = ref true in
+  Array.iteri
+    (fun k j ->
+      if j < 0 || j >= ncols then ok := false;
+      if k > 0 && r.(k - 1) >= j then ok := false)
+    r;
+  !ok
+
+let create ~cols data =
+  if cols < 0 then invalid_arg "Sparse.create: negative column count";
+  Array.iter
+    (fun r ->
+      if not (validate_row cols r) then
+        invalid_arg "Sparse.create: row not strictly increasing or out of range")
+    data;
+  { nrows = Array.length data; ncols = cols; data }
+
+let rows m = m.nrows
+
+let cols m = m.ncols
+
+let row m i =
+  if i < 0 || i >= m.nrows then invalid_arg "Sparse.row: index out of bounds";
+  m.data.(i)
+
+let nnz m = Array.fold_left (fun acc r -> acc + Array.length r) 0 m.data
+
+let get m i j =
+  let r = row m i in
+  if j < 0 || j >= m.ncols then invalid_arg "Sparse.get: index out of bounds";
+  let rec bsearch lo hi =
+    if lo >= hi then false
+    else begin
+      let mid = (lo + hi) / 2 in
+      if r.(mid) = j then true
+      else if r.(mid) < j then bsearch (mid + 1) hi
+      else bsearch lo mid
+    end
+  in
+  bsearch 0 (Array.length r)
+
+let row_product r1 r2 =
+  let n1 = Array.length r1 and n2 = Array.length r2 in
+  let out = Array.make (min n1 n2) 0 in
+  let k = ref 0 in
+  let i = ref 0 and j = ref 0 in
+  while !i < n1 && !j < n2 do
+    let a = r1.(!i) and b = r2.(!j) in
+    if a = b then begin
+      out.(!k) <- a;
+      incr k;
+      incr i;
+      incr j
+    end
+    else if a < b then incr i
+    else incr j
+  done;
+  Array.sub out 0 !k
+
+let mul_vec m x =
+  if Array.length x <> m.ncols then invalid_arg "Sparse.mul_vec: dimension mismatch";
+  Array.map
+    (fun r ->
+      let acc = ref 0. in
+      Array.iter (fun j -> acc := !acc +. x.(j)) r;
+      !acc)
+    m.data
+
+let tmul_vec m x =
+  if Array.length x <> m.nrows then invalid_arg "Sparse.tmul_vec: dimension mismatch";
+  let y = Array.make m.ncols 0. in
+  Array.iteri
+    (fun i r ->
+      let xi = x.(i) in
+      if xi <> 0. then Array.iter (fun j -> y.(j) <- y.(j) +. xi) r)
+    m.data;
+  y
+
+let column_counts m =
+  let c = Array.make m.ncols 0 in
+  Array.iter (fun r -> Array.iter (fun j -> c.(j) <- c.(j) + 1) r) m.data;
+  c
+
+let to_dense m =
+  let d = Matrix.zeros m.nrows m.ncols in
+  Array.iteri (fun i r -> Array.iter (fun j -> Matrix.set d i j 1.) r) m.data;
+  d
+
+let dense_cols m idx =
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= m.ncols then invalid_arg "Sparse.dense_cols: index out of bounds")
+    idx;
+  (* map original column -> position in [idx]; -1 when dropped *)
+  let pos = Array.make m.ncols (-1) in
+  Array.iteri (fun k j -> pos.(j) <- k) idx;
+  let d = Matrix.zeros m.nrows (Array.length idx) in
+  Array.iteri
+    (fun i r ->
+      Array.iter (fun j -> if pos.(j) >= 0 then Matrix.set d i pos.(j) 1.) r)
+    m.data;
+  d
+
+let select_rows m idx =
+  let data = Array.map (fun i -> Array.copy (row m i)) idx in
+  { nrows = Array.length idx; ncols = m.ncols; data }
+
+let select_cols m idx =
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= m.ncols then invalid_arg "Sparse.select_cols: index out of bounds")
+    idx;
+  let pos = Array.make m.ncols (-1) in
+  Array.iteri (fun k j -> pos.(j) <- k) idx;
+  let remap r =
+    let kept = Array.to_list r |> List.filter_map (fun j ->
+        if pos.(j) >= 0 then Some pos.(j) else None)
+    in
+    let a = Array.of_list kept in
+    Array.sort compare a;
+    a
+  in
+  { nrows = m.nrows; ncols = Array.length idx; data = Array.map remap m.data }
+
+let transpose m =
+  let counts = column_counts m in
+  let out = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make m.ncols 0 in
+  Array.iteri
+    (fun i r ->
+      Array.iter
+        (fun j ->
+          out.(j).(fill.(j)) <- i;
+          fill.(j) <- fill.(j) + 1)
+        r)
+    m.data;
+  (* rows were scanned in increasing i, so each out.(j) is already sorted *)
+  { nrows = m.ncols; ncols = m.nrows; data = out }
+
+let normal_matrix m =
+  let g = Matrix.zeros m.ncols m.ncols in
+  Array.iter
+    (fun r ->
+      let len = Array.length r in
+      for a = 0 to len - 1 do
+        let ja = r.(a) in
+        for b = a to len - 1 do
+          let jb = r.(b) in
+          Matrix.set g ja jb (Matrix.get g ja jb +. 1.)
+        done
+      done)
+    m.data;
+  for i = 0 to m.ncols - 1 do
+    for j = 0 to i - 1 do
+      Matrix.set g i j (Matrix.get g j i)
+    done
+  done;
+  g
+
+let normal_rhs = tmul_vec
+
+let least_squares ?ridge m b =
+  let g = normal_matrix m in
+  let rhs = normal_rhs m b in
+  let f = Cholesky.factorize_regularized ?ridge g in
+  Cholesky.solve_vec f rhs
+
+let equal m1 m2 =
+  m1.nrows = m2.nrows && m1.ncols = m2.ncols
+  && Array.for_all2 (fun r1 r2 -> r1 = r2) m1.data m2.data
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>sparse %dx%d:" m.nrows m.ncols;
+  Array.iteri
+    (fun i r ->
+      Format.fprintf ppf "@,%3d: {" i;
+      Array.iteri
+        (fun k j ->
+          if k > 0 then Format.fprintf ppf ", ";
+          Format.fprintf ppf "%d" j)
+        r;
+      Format.fprintf ppf "}")
+    m.data;
+  Format.fprintf ppf "@]"

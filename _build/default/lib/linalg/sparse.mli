@@ -1,0 +1,77 @@
+(** Sparse 0/1 matrices stored by rows.
+
+    Routing matrices [R] and the augmented matrix [A] of the paper are 0/1
+    and extremely sparse (a row has one entry per link of a path). A row is
+    the strictly increasing array of its nonzero column indices. This
+    module provides exactly the operations the tomography pipeline needs:
+    row-wise products (the [⊗] of Definition 1), matrix-vector products,
+    dense conversion of column subsets, and least squares through the
+    normal equations, which keeps the [n_p(n_p+1)/2 × n_c] system of eq. (8)
+    tractable. *)
+
+type row = int array
+(** Strictly increasing column indices of the 1-entries. *)
+
+type t
+
+val create : cols:int -> row array -> t
+(** [create ~cols rows] validates that every row is strictly increasing and
+    within [0 .. cols-1]. Raises [Invalid_argument] otherwise. *)
+
+val rows : t -> int
+
+val cols : t -> int
+
+val row : t -> int -> row
+(** The row's support (do not mutate). *)
+
+val nnz : t -> int
+(** Number of stored ones. *)
+
+val get : t -> int -> int -> bool
+(** Membership test by binary search. *)
+
+val row_product : row -> row -> row
+(** Sorted intersection: the support of the element-wise product of two 0/1
+    rows ([Ri∗ ⊗ Rj∗] in the paper). *)
+
+val mul_vec : t -> Vector.t -> Vector.t
+(** [mul_vec m x] is [m x]. *)
+
+val tmul_vec : t -> Vector.t -> Vector.t
+(** [tmul_vec m x] is [mᵀ x]. *)
+
+val column_counts : t -> int array
+(** For each column, how many rows contain it. *)
+
+val to_dense : t -> Matrix.t
+
+val dense_cols : t -> int array -> Matrix.t
+(** [dense_cols m idx] is the dense [rows × |idx|] matrix of the selected
+    columns (in the given order). *)
+
+val select_rows : t -> int array -> t
+(** Keeps the given rows in the given order (duplicates allowed). *)
+
+val select_cols : t -> int array -> t
+(** Keeps the given columns, renumbering them [0 .. |idx|-1] in order. Rows
+    keep only their surviving entries (possibly becoming empty). *)
+
+val transpose : t -> t
+
+val normal_matrix : t -> Matrix.t
+(** [normal_matrix a] is the dense Gram matrix [aᵀ a], assembled row by row
+    in O(nnz per row squared). *)
+
+val normal_rhs : t -> Vector.t -> Vector.t
+(** [normal_rhs a b] is [aᵀ b]. *)
+
+val least_squares : ?ridge:float -> t -> Vector.t -> Vector.t
+(** Minimizes [‖a x − b‖₂] by solving the normal equations with a
+    (regularized) Cholesky factorization. Suitable when [a] has full column
+    rank, which Theorem 1 guarantees for augmented matrices of valid
+    topologies. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/lossmodel/bernoulli.ml: List Nstats

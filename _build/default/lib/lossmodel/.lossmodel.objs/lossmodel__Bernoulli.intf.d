@@ -1,0 +1,1 @@
+lib/lossmodel/bernoulli.mli: Nstats

@@ -1,0 +1,1 @@
+lib/lossmodel/gilbert.ml: Float List Nstats

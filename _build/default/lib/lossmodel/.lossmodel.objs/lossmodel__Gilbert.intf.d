@@ -1,0 +1,1 @@
+lib/lossmodel/gilbert.mli: Nstats

@@ -1,0 +1,1 @@
+lib/lossmodel/loss_model.ml: Nstats

@@ -1,0 +1,28 @@
+module Rng = Nstats.Rng
+
+let losses rng ~rate ~steps =
+  if rate < 0. || rate > 1. then invalid_arg "Bernoulli.losses: rate out of [0,1]";
+  Rng.binomial rng steps rate
+
+let bad_intervals rng ~rate ~steps =
+  if rate < 0. || rate > 1. then
+    invalid_arg "Bernoulli.bad_intervals: rate out of [0,1]";
+  if rate = 0. || steps = 0 then []
+  else begin
+    (* jump between dropped probes with geometric gaps: O(steps * rate) *)
+    let acc = ref [] in
+    let pos = ref (Rng.geometric rng rate) in
+    while !pos < steps do
+      (* extend a run of consecutive drops into one interval *)
+      let start = !pos in
+      let stop = ref (start + 1) in
+      while !stop < steps && Rng.bool rng rate do
+        incr stop
+      done;
+      acc := (start, !stop) :: !acc;
+      (* the trial at !stop (if within range) already failed, so the next
+         candidate drop position starts the geometric gap at !stop + 1 *)
+      pos := !stop + 1 + Rng.geometric rng rate
+    done;
+    List.rev !acc
+  end

@@ -1,0 +1,10 @@
+(** Independent (Bernoulli) probe losses — the paper's alternative loss
+    process, where each probe is dropped independently with the link's
+    loss rate. Used as an ablation against the bursty Gilbert process. *)
+
+val losses : Nstats.Rng.t -> rate:float -> steps:int -> int
+(** Binomial number of dropped probes. *)
+
+val bad_intervals : Nstats.Rng.t -> rate:float -> steps:int -> (int * int) list
+(** The dropped-probe set as maximal half-open intervals, so Bernoulli
+    links compose with Gilbert links in the packet-level simulator. *)

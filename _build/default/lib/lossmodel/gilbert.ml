@@ -1,0 +1,50 @@
+module Rng = Nstats.Rng
+
+type t = { to_bad : float; stay_bad : float; loss_rate : float }
+
+let make ?(stay_bad = 0.35) ~loss_rate () =
+  if loss_rate < 0. || loss_rate > 1. then
+    invalid_arg "Gilbert.make: loss rate out of [0,1]";
+  if stay_bad < 0. || stay_bad >= 1. then
+    invalid_arg "Gilbert.make: stay_bad out of [0,1)";
+  let to_good = 1. -. stay_bad in
+  (* stationary bad probability = to_bad / (to_bad + to_good) = loss_rate *)
+  let to_bad =
+    if loss_rate >= 1. then 1.
+    else Float.min 1. (to_good *. loss_rate /. (1. -. loss_rate))
+  in
+  { to_bad; stay_bad; loss_rate }
+
+let stationary_bad t =
+  let to_good = 1. -. t.stay_bad in
+  if t.to_bad = 0. then 0. else t.to_bad /. (t.to_bad +. to_good)
+
+let bad_intervals rng t ~steps =
+  if steps < 0 then invalid_arg "Gilbert.bad_intervals: negative steps";
+  if t.to_bad = 0. || steps = 0 then []
+  else begin
+    let to_good = 1. -. t.stay_bad in
+    (* Start from the stationary distribution; then alternate geometric
+       sojourns. A good sojourn lasts 1 + Geom(to_bad) steps when entered,
+       a bad one 1 + Geom(to_good). *)
+    let acc = ref [] in
+    let pos = ref 0 in
+    let bad = ref (Rng.bool rng (stationary_bad t)) in
+    while !pos < steps do
+      if !bad then begin
+        let len = 1 + Rng.geometric rng to_good in
+        let stop = min steps (!pos + len) in
+        acc := (!pos, stop) :: !acc;
+        pos := stop
+      end
+      else begin
+        let len = 1 + Rng.geometric rng t.to_bad in
+        pos := !pos + len
+      end;
+      bad := not !bad
+    done;
+    List.rev !acc
+  end
+
+let losses rng t ~steps =
+  List.fold_left (fun acc (a, b) -> acc + b - a) 0 (bad_intervals rng t ~steps)

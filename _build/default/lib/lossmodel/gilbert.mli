@@ -1,0 +1,35 @@
+(** The Gilbert two-state burst-loss process (Section 6).
+
+    A link alternates between a good state (no probe dropped) and a bad
+    state (every probe dropped). The probability of remaining in the bad
+    state is fixed to the paper's 0.35 (following Paxson's measurements);
+    the good→bad probability is chosen so that the stationary loss rate
+    matches the target rate of the link. Losses produced this way are
+    bursty, which is exactly the property that gives congested links the
+    high loss-rate variances the LIA algorithm exploits. *)
+
+type t = {
+  to_bad : float;  (** P(good → bad) *)
+  stay_bad : float;  (** P(bad → bad) *)
+  loss_rate : float;  (** stationary probability of the bad state *)
+}
+
+val make : ?stay_bad:float -> loss_rate:float -> unit -> t
+(** [make ~loss_rate ()] with default [stay_bad = 0.35]. [to_bad] is
+    clamped to 1, so very high target rates saturate (the realized rate of
+    such links is still above any congestion threshold). Raises
+    [Invalid_argument] unless [0 <= loss_rate <= 1] and
+    [0 <= stay_bad < 1]. *)
+
+val stationary_bad : t -> float
+(** Exact stationary bad-state probability of the chain (equals
+    [loss_rate] except in the clamped regime). *)
+
+val bad_intervals : Nstats.Rng.t -> t -> steps:int -> (int * int) list
+(** Half-open intervals [(start, stop)] of bad-state steps within
+    [0, steps), in increasing order, sampled from the stationary chain by
+    alternating geometric sojourns. The number of probes such a link drops
+    is the total length of the intervals. *)
+
+val losses : Nstats.Rng.t -> t -> steps:int -> int
+(** Number of dropped probes out of [steps]. *)

@@ -1,0 +1,1 @@
+lib/netsim/delay.ml: Array Linalg Nstats

@@ -1,0 +1,1 @@
+lib/netsim/delay.mli: Linalg Nstats

@@ -1,0 +1,1 @@
+lib/netsim/multicast.ml: Array Intervals Linalg List Lossmodel Nstats Printf Queue Snapshot Topology

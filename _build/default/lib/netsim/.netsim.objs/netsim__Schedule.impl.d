@@ -1,0 +1,1 @@
+lib/netsim/schedule.ml: Array Hashtbl Int List Nstats Option Topology

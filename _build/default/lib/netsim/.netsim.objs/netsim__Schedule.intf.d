@@ -1,0 +1,1 @@
+lib/netsim/schedule.mli: Nstats Topology

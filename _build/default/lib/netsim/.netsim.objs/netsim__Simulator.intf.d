@@ -1,0 +1,1 @@
+lib/netsim/simulator.mli: Linalg Nstats Snapshot

@@ -1,0 +1,1 @@
+lib/netsim/snapshot.ml: Array Intervals Linalg List Lossmodel Nstats

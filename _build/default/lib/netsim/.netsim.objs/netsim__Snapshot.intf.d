@@ -1,0 +1,1 @@
+lib/netsim/snapshot.mli: Linalg Lossmodel Nstats

@@ -1,0 +1,1 @@
+lib/netsim/trace_io.ml: Array Buffer Filename Linalg List Printf String Sys

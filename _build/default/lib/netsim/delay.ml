@@ -1,0 +1,93 @@
+module Rng = Nstats.Rng
+module Sparse = Linalg.Sparse
+module Matrix = Linalg.Matrix
+
+type config = {
+  propagation_lo : float;
+  propagation_hi : float;
+  good_queue_hi : float;
+  congested_queue_lo : float;
+  congested_queue_hi : float;
+  jitter : float;
+  congestion_prob : float;
+  probes : int;
+}
+
+let default_config =
+  {
+    propagation_lo = 1.;
+    propagation_hi = 10.;
+    good_queue_hi = 0.3;
+    congested_queue_lo = 20.;
+    congested_queue_hi = 100.;
+    jitter = 5.;
+    congestion_prob = 0.1;
+    probes = 1000;
+  }
+
+type network = { propagation : float array }
+
+type t = { queueing : float array; congested : bool array; y : float array }
+
+let validate config =
+  if config.probes <= 0 then invalid_arg "Delay: probes <= 0";
+  if config.congestion_prob < 0. || config.congestion_prob > 1. then
+    invalid_arg "Delay: congestion_prob out of [0,1]";
+  if
+    config.propagation_lo < 0.
+    || config.propagation_hi < config.propagation_lo
+    || config.good_queue_hi < 0.
+    || config.congested_queue_hi < config.congested_queue_lo
+    || config.jitter < 0.
+  then invalid_arg "Delay: inconsistent delay ranges"
+
+let make_network rng config ~links =
+  validate config;
+  if links < 0 then invalid_arg "Delay.make_network: negative link count";
+  let propagation =
+    Array.init links (fun _ ->
+        Rng.uniform rng config.propagation_lo config.propagation_hi)
+  in
+  { propagation }
+
+let generate rng config network ~congested r =
+  validate config;
+  let nc = Sparse.cols r and np = Sparse.rows r in
+  if Array.length network.propagation <> nc then
+    invalid_arg "Delay.generate: network size mismatch";
+  if Array.length congested <> nc then
+    invalid_arg "Delay.generate: status vector length mismatch";
+  let queueing =
+    Array.map
+      (fun c ->
+        if c then Rng.uniform rng config.congested_queue_lo config.congested_queue_hi
+        else Rng.uniform rng 0. config.good_queue_hi)
+      congested
+  in
+  (* averaging S probes shrinks the per-probe jitter on each path *)
+  let noise_sd = config.jitter /. sqrt (float_of_int config.probes) in
+  let y =
+    Array.init np (fun i ->
+        let total =
+          Array.fold_left
+            (fun acc j -> acc +. network.propagation.(j) +. queueing.(j))
+            0. (Sparse.row r i)
+        in
+        total +. (noise_sd *. Rng.gaussian rng))
+  in
+  { queueing; congested = Array.copy congested; y }
+
+let run rng config network r ~count =
+  if count <= 0 then invalid_arg "Delay.run: count <= 0";
+  let nc = Sparse.cols r in
+  (* trouble-prone links (fraction p) queue heavily in about half the
+     snapshots; the episodes make every path's minimum a clean
+     propagation-only baseline *)
+  let prone = Array.init nc (fun _ -> Rng.bool rng config.congestion_prob) in
+  let snaps =
+    Array.init count (fun _ ->
+        let congested = Array.map (fun pr -> pr && Rng.bool rng 0.5) prone in
+        generate rng config network ~congested r)
+  in
+  let y = Matrix.init count (Sparse.rows r) (fun l i -> snaps.(l).y.(i)) in
+  (snaps, y)

@@ -1,0 +1,53 @@
+(** Delay measurements — the substrate for the paper's first extension
+    (Section 8): inferring link delays from end-to-end delay measurements
+    using second-order statistics.
+
+    Each link has a fixed propagation delay plus a per-snapshot queueing
+    delay: congested links queue heavily and variably, good links barely
+    at all — the delay analogue of Assumption S.3. A path's measurement is
+    the average one-way delay of its [S] probes, so the per-path sampling
+    noise shrinks like [jitter / sqrt S]. End-to-end delays are directly
+    linear in link delays ([Y = R X], no logarithms). *)
+
+type config = {
+  propagation_lo : float;  (** per-link propagation delay range, ms *)
+  propagation_hi : float;
+  good_queue_hi : float;  (** max mean queueing of an un-congested link, ms *)
+  congested_queue_lo : float;  (** mean queueing range of a congested link, ms *)
+  congested_queue_hi : float;
+  jitter : float;  (** per-probe delay standard deviation, ms *)
+  congestion_prob : float;  (** the paper's [p] *)
+  probes : int;  (** the paper's [S] *)
+}
+
+val default_config : config
+(** Propagation U[1, 10] ms, good queueing U[0, 0.3] ms, congested
+    queueing U[20, 100] ms, jitter 5 ms, [p] = 0.1, [S] = 1000. *)
+
+type network = {
+  propagation : float array;  (** fixed per-link propagation delays *)
+}
+
+type t = {
+  queueing : float array;  (** mean queueing delay per link this snapshot *)
+  congested : bool array;
+  y : float array;  (** measured average path delay (ms) per path *)
+}
+
+val make_network : Nstats.Rng.t -> config -> links:int -> network
+(** Draws the static propagation delays. *)
+
+val generate :
+  Nstats.Rng.t -> config -> network -> congested:bool array ->
+  Linalg.Sparse.t -> t
+(** One delay snapshot: queueing delays drawn conditional on the statuses,
+    path measurements are sums over links plus averaged jitter. *)
+
+val run :
+  Nstats.Rng.t -> config -> network -> Linalg.Sparse.t -> count:int ->
+  t array * Linalg.Matrix.t
+(** A campaign over a fixed set of trouble-prone links (drawn with
+    probability [congestion_prob]), each queueing heavily in roughly half
+    of the snapshots: the episodic pattern keeps per-path minima at the
+    propagation-only baseline. Returns the snapshots and the
+    [count × n_p] measurement matrix. *)

@@ -1,0 +1,37 @@
+let total_length l = List.fold_left (fun acc (a, b) -> acc + b - a) 0 l
+
+let sweep ls ~f =
+  let all = List.concat ls |> List.filter (fun (a, b) -> b > a) in
+  let sorted = List.sort compare all in
+  (* fold disjoint maximal runs, calling [f lo hi] for each *)
+  let rec go cur = function
+    | [] -> (match cur with Some (lo, hi) -> f lo hi | None -> ())
+    | (a, b) :: rest -> (
+        match cur with
+        | None -> go (Some (a, b)) rest
+        | Some (lo, hi) ->
+            if a <= hi then go (Some (lo, max hi b)) rest
+            else begin
+              f lo hi;
+              go (Some (a, b)) rest
+            end)
+  in
+  go None sorted
+
+let union ls =
+  let acc = ref [] in
+  sweep ls ~f:(fun lo hi -> acc := (lo, hi) :: !acc);
+  List.rev !acc
+
+let union_length ls =
+  let n = ref 0 in
+  sweep ls ~f:(fun lo hi -> n := !n + hi - lo);
+  !n
+
+let complement_length ~steps ls =
+  if steps < 0 then invalid_arg "Intervals.complement_length: negative range";
+  let covered = ref 0 in
+  sweep ls ~f:(fun lo hi ->
+      let lo = max 0 lo and hi = min steps hi in
+      if hi > lo then covered := !covered + hi - lo);
+  steps - !covered

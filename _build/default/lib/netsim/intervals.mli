@@ -1,0 +1,19 @@
+(** Half-open integer intervals and their unions.
+
+    The packet-level simulator represents each link's bad (dropping)
+    periods as intervals of probe indices; a probe on a path is lost when
+    it falls in the union of the bad intervals of the path's links. *)
+
+val total_length : (int * int) list -> int
+(** Sum of interval lengths, assuming disjoint intervals. *)
+
+val union : (int * int) list list -> (int * int) list
+(** Union of several interval lists into disjoint sorted intervals. The
+    inputs need not be sorted; empty ([b <= a]) intervals are ignored. *)
+
+val union_length : (int * int) list list -> int
+(** [total_length (union ls)] without building the intermediate list. *)
+
+val complement_length : steps:int -> (int * int) list list -> int
+(** Number of points of [0, steps) outside the union (the probes that
+    survive). Intervals are clipped to [0, steps). *)

@@ -1,0 +1,145 @@
+module Rng = Nstats.Rng
+module Sparse = Linalg.Sparse
+module Routing = Topology.Routing
+module Loss_model = Lossmodel.Loss_model
+
+type tree = {
+  parent : int array;
+  children : int array array;
+  order : int array;
+  leaf_of_path : int array;
+}
+
+(* Ordered virtual-link sequence of a path: map its physical edge order
+   through edge_vlink, collapsing repeats (alias groups are contiguous on
+   a tree path). *)
+let vlink_sequence (red : Routing.reduced) (p : Topology.Path.t) =
+  let seq = ref [] in
+  Array.iter
+    (fun e ->
+      let v = red.Routing.edge_vlink.(e) in
+      match !seq with
+      | last :: _ when last = v -> ()
+      | l -> seq := v :: l)
+    p.Topology.Path.edges;
+  Array.of_list (List.rev !seq)
+
+let tree_of_routing (red : Routing.reduced) =
+  let nc = Array.length red.Routing.vlinks in
+  let parent = Array.make nc (-2) in
+  let np = Array.length red.Routing.paths in
+  let leaf_of_path = Array.make np (-1) in
+  Array.iteri
+    (fun i p ->
+      let seq = vlink_sequence red p in
+      let n = Array.length seq in
+      if n = 0 then invalid_arg "Multicast.tree_of_routing: empty path";
+      leaf_of_path.(i) <- seq.(n - 1);
+      Array.iteri
+        (fun pos v ->
+          let par = if pos = 0 then -1 else seq.(pos - 1) in
+          if parent.(v) = -2 then parent.(v) <- par
+          else if parent.(v) <> par then
+            invalid_arg "Multicast.tree_of_routing: paths do not form a tree")
+        seq)
+    red.Routing.paths;
+  Array.iteri
+    (fun v p ->
+      if p = -2 then
+        invalid_arg
+          (Printf.sprintf "Multicast.tree_of_routing: uncovered virtual link %d" v))
+    parent;
+  let child_lists = Array.make nc [] in
+  Array.iteri
+    (fun v p -> if p >= 0 then child_lists.(p) <- v :: child_lists.(p))
+    parent;
+  let children = Array.map (fun l -> Array.of_list (List.rev l)) child_lists in
+  (* topological order by BFS from the roots *)
+  let order = Array.make nc 0 in
+  let k = ref 0 in
+  let q = Queue.create () in
+  Array.iteri (fun v p -> if p = -1 then Queue.add v q) parent;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    order.(!k) <- v;
+    incr k;
+    Array.iter (fun c -> Queue.add c q) children.(v)
+  done;
+  if !k <> nc then invalid_arg "Multicast.tree_of_routing: cycle detected";
+  { parent; children; order; leaf_of_path }
+
+type observation = {
+  loss_rates : float array;
+  realized : float array;
+  congested : bool array;
+  gamma : float array;
+  received : int array;
+}
+
+let link_bad_intervals rng (config : Snapshot.config) rate ~steps =
+  match config.Snapshot.process with
+  | Snapshot.Gilbert stay_bad ->
+      let chain = Lossmodel.Gilbert.make ~stay_bad ~loss_rate:rate () in
+      Lossmodel.Gilbert.bad_intervals rng chain ~steps
+  | Snapshot.Bernoulli -> Lossmodel.Bernoulli.bad_intervals rng ~rate ~steps
+
+let observe rng config ~congested tree =
+  let nc = Array.length tree.parent in
+  if Array.length congested <> nc then
+    invalid_arg "Multicast.observe: status vector length mismatch";
+  let s = config.Snapshot.probes in
+  if s <= 0 then invalid_arg "Multicast.observe: probes <= 0";
+  let sf = float_of_int s in
+  let loss_rates =
+    Array.map
+      (fun c ->
+        if c then Loss_model.draw_congested rng config.Snapshot.model
+        else Loss_model.draw_good rng config.Snapshot.model)
+      congested
+  in
+  let bad =
+    Array.map (fun rate -> link_bad_intervals rng config rate ~steps:s) loss_rates
+  in
+  let realized =
+    Array.map (fun iv -> float_of_int (Intervals.total_length iv) /. sf) bad
+  in
+  (* top-down: lost(v) = probes dead at or above v, as a disjoint interval
+     union *)
+  let lost = Array.make nc [] in
+  Array.iter
+    (fun v ->
+      let above = if tree.parent.(v) < 0 then [] else lost.(tree.parent.(v)) in
+      lost.(v) <- Intervals.union [ above; bad.(v) ])
+    tree.order;
+  (* bottom-up: heard(v) = probes received by >= 1 destination in the
+     subtree of v. Destinations are the final links of paths; an internal
+     link can also terminate a path (a destination with children serving
+     other destinations), so seed every path's leaf link. *)
+  let heard = Array.make nc [] in
+  let is_leaf_link = Array.make nc false in
+  Array.iter (fun v -> is_leaf_link.(v) <- true) tree.leaf_of_path;
+  for k = nc - 1 downto 0 do
+    let v = tree.order.(k) in
+    let own =
+      if is_leaf_link.(v) then
+        (* complement of lost(v) within [0, S) *)
+        let rec complement pos = function
+          | [] -> if pos < s then [ (pos, s) ] else []
+          | (a, b) :: rest ->
+              if pos < a then (pos, a) :: complement b rest else complement b rest
+        in
+        [ complement 0 lost.(v) ]
+      else []
+    in
+    let from_children = Array.to_list (Array.map (fun c -> heard.(c)) tree.children.(v)) in
+    heard.(v) <- Intervals.union (own @ from_children)
+  done;
+  let gamma =
+    Array.init nc (fun v -> float_of_int (Intervals.total_length heard.(v)) /. sf)
+  in
+  let received =
+    Array.map
+      (fun leaf -> s - Intervals.total_length lost.(leaf))
+      tree.leaf_of_path
+  in
+  { loss_rates; realized; congested = Array.copy congested; gamma; received }

@@ -1,0 +1,49 @@
+(** Multicast probing on tree topologies.
+
+    The first family in the paper's Table 1 ([6, 7, 9]) infers link loss
+    from {e multicast} probes: one packet fans out from the root, so every
+    receiver's observation of the same probe is perfectly temporally
+    correlated, and the joint reception pattern identifies per-link rates
+    (MINC, Cáceres et al. 1999). The paper's motivation is that multicast
+    is not deployable on today's Internet — but as a simulated gold
+    standard it bounds what LIA's unicast-only inference can be compared
+    against.
+
+    This module derives the virtual-link tree of a single-beacon reduced
+    topology and simulates multicast snapshots on it, producing the
+    sufficient statistics MINC needs: for every tree node, the fraction
+    [gamma] of probes received by at least one destination in its
+    subtree. *)
+
+type tree = {
+  parent : int array;  (** per virtual link: parent virtual link or -1 *)
+  children : int array array;  (** per virtual link: child virtual links *)
+  order : int array;  (** topological order, parents before children *)
+  leaf_of_path : int array;  (** per path (row): its final virtual link *)
+}
+
+val tree_of_routing : Topology.Routing.reduced -> tree
+(** Derives the link tree from a single-beacon reduced topology. Raises
+    [Invalid_argument] if the paths do not form a tree (multiple beacons
+    or inconsistent prefixes). *)
+
+type observation = {
+  loss_rates : float array;  (** drawn loss rate per virtual link *)
+  realized : float array;  (** realized loss fraction per virtual link *)
+  congested : bool array;
+  gamma : float array;
+      (** per virtual link: fraction of the [S] probes received by at
+          least one destination in its subtree *)
+  received : int array;  (** per path: probes received at its destination *)
+}
+
+val observe :
+  Nstats.Rng.t ->
+  Snapshot.config ->
+  congested:bool array ->
+  tree ->
+  observation
+(** One multicast snapshot: every link's loss process is shared by the
+    whole fan-out (the probe either passes a link or dies there for all
+    downstream receivers). Uses the same loss models and processes as the
+    unicast {!Snapshot}. *)

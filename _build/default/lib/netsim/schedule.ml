@@ -1,0 +1,97 @@
+module Rng = Nstats.Rng
+
+type config = {
+  probe_bytes : int;
+  inter_probe_ms : float;
+  probes : int;
+  rate_limit_bytes_per_s : float;
+}
+
+let default_config =
+  { probe_bytes = 40; inter_probe_ms = 10.; probes = 1000;
+    rate_limit_bytes_per_s = 100_000. }
+
+type t = {
+  rounds : int array array;
+  snapshot_seconds : float;
+  beacon_bandwidth : (int * float) list;
+}
+
+let validate config =
+  if config.probe_bytes <= 0 || config.probes <= 0 then
+    invalid_arg "Schedule: non-positive probe parameters";
+  if config.inter_probe_ms <= 0. then invalid_arg "Schedule: non-positive spacing";
+  if config.rate_limit_bytes_per_s <= 0. then
+    invalid_arg "Schedule: non-positive rate limit"
+
+(* one train sends a probe every inter_probe_ms *)
+let train_bytes_per_s config =
+  float_of_int config.probe_bytes *. (1000. /. config.inter_probe_ms)
+
+let concurrent_paths_per_beacon config =
+  validate config;
+  int_of_float (config.rate_limit_bytes_per_s /. train_bytes_per_s config)
+
+let build rng config (red : Topology.Routing.reduced) =
+  validate config;
+  let quota = concurrent_paths_per_beacon config in
+  if quota < 1 then
+    invalid_arg "Schedule.build: rate limit below a single probe train";
+  (* group path indices by beacon, in randomized destination order *)
+  let by_beacon = Hashtbl.create 16 in
+  Array.iteri
+    (fun idx (p : Topology.Path.t) ->
+      let b = p.Topology.Path.src in
+      Hashtbl.replace by_beacon b
+        (idx :: Option.value ~default:[] (Hashtbl.find_opt by_beacon b)))
+    red.Topology.Routing.paths;
+  let queues =
+    Hashtbl.fold
+      (fun beacon idxs acc ->
+        let a = Array.of_list idxs in
+        Rng.shuffle rng a;
+        (beacon, ref (Array.to_list a)) :: acc)
+      by_beacon []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  (* rounds: each beacon contributes up to [quota] paths per round *)
+  let rounds = ref [] in
+  let remaining = ref (Array.length red.Topology.Routing.paths) in
+  while !remaining > 0 do
+    let this_round = ref [] in
+    List.iter
+      (fun (_, q) ->
+        let rec take n =
+          if n > 0 then begin
+            match !q with
+            | [] -> ()
+            | idx :: rest ->
+                q := rest;
+                this_round := idx :: !this_round;
+                decr remaining;
+                take (n - 1)
+          end
+        in
+        take quota)
+      queues;
+    rounds := Array.of_list (List.rev !this_round) :: !rounds
+  done;
+  let rounds = Array.of_list (List.rev !rounds) in
+  let train_seconds =
+    float_of_int config.probes *. config.inter_probe_ms /. 1000.
+  in
+  let snapshot_seconds = float_of_int (Array.length rounds) *. train_seconds in
+  let beacon_bandwidth =
+    List.map
+      (fun (beacon, _) ->
+        let paths =
+          Array.fold_left
+            (fun acc (p : Topology.Path.t) ->
+              if p.Topology.Path.src = beacon then acc + 1 else acc)
+            0 red.Topology.Routing.paths
+        in
+        let concurrent = min quota paths in
+        (beacon, float_of_int concurrent *. train_bytes_per_s config))
+      queues
+  in
+  { rounds; snapshot_seconds; beacon_bandwidth }

@@ -1,0 +1,38 @@
+(** Probe scheduling under per-host rate limits (Section 7.1 methodology).
+
+    The PlanetLab deployment probed with 40-byte UDP packets at 10 ms
+    inter-arrival, capped each beacon at 100 KB/s, which works out to
+    about 150 paths per beacon per minute, and randomized the order in
+    which each beacon visited its destinations. Given a path set and the
+    same knobs, this module computes a feasible probing schedule: which
+    paths each beacon measures in each round, how long a full snapshot
+    sweep takes, and the bandwidth every beacon consumes. *)
+
+type config = {
+  probe_bytes : int;  (** UDP probe size, default 40 *)
+  inter_probe_ms : float;  (** spacing between probes of one path train *)
+  probes : int;  (** probes per path per snapshot (the paper's [S]) *)
+  rate_limit_bytes_per_s : float;  (** per-beacon cap, default 100 KB/s *)
+}
+
+val default_config : config
+(** The paper's values: 40 B probes, 10 ms spacing, S = 1000, 100 KB/s. *)
+
+type t = {
+  rounds : int array array;
+      (** [rounds.(k)] = path (row) indices measured in parallel round [k];
+          every beacon measures at most its per-round quota *)
+  snapshot_seconds : float;  (** wall-clock time of one full sweep *)
+  beacon_bandwidth : (int * float) list;
+      (** peak bytes/s per beacon node id while its trains are running *)
+}
+
+val concurrent_paths_per_beacon : config -> int
+(** How many probe trains a beacon can interleave without exceeding the
+    rate limit. *)
+
+val build :
+  Nstats.Rng.t -> config -> Topology.Routing.reduced -> t
+(** Randomizes each beacon's destination order (as the deployment did),
+    then packs paths into rounds. Raises [Invalid_argument] if the rate
+    limit cannot accommodate even one probe train. *)

@@ -1,0 +1,56 @@
+module Matrix = Linalg.Matrix
+
+let to_string y =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b
+    (Printf.sprintf "netloss-measurements 1 %d %d\n" (Matrix.rows y) (Matrix.cols y));
+  for l = 0 to Matrix.rows y - 1 do
+    for i = 0 to Matrix.cols y - 1 do
+      if i > 0 then Buffer.add_char b ' ';
+      Buffer.add_string b (Printf.sprintf "%.17g" (Matrix.get y l i))
+    done;
+    Buffer.add_char b '\n'
+  done;
+  Buffer.contents b
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> failwith "empty measurement file"
+  | header :: rows -> (
+      match String.split_on_char ' ' header |> List.filter (fun w -> w <> "") with
+      | [ "netloss-measurements"; "1"; m; np ] ->
+          let m = int_of_string m and np = int_of_string np in
+          if List.length rows <> m then failwith "row count mismatch";
+          let parse_row line =
+            let cells =
+              String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+            in
+            if List.length cells <> np then failwith "column count mismatch";
+            Array.of_list (List.map float_of_string cells)
+          in
+          let data = Array.of_list (List.map parse_row rows) in
+          Matrix.init m np (fun l i -> data.(l).(i))
+      | _ -> failwith "missing netloss-measurements header")
+
+let save path y =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir "measurements" ".tmp" in
+  let oc = open_out tmp in
+  (try output_string oc (to_string y)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s

@@ -1,0 +1,20 @@
+(** Plain-text serialization of measurement campaigns.
+
+    Format:
+    {v
+    netloss-measurements 1 <snapshots> <paths>
+    <y_0,0> <y_0,1> ... <y_0,np-1>
+    ...
+    v}
+    One row per snapshot of log path transmission rates (or delays, for
+    the delay extension — the format is unit-agnostic). Blank lines and
+    [#] comments are ignored. *)
+
+val to_string : Linalg.Matrix.t -> string
+
+val of_string : string -> Linalg.Matrix.t
+(** Raises [Failure] on malformed input or row-count mismatches. *)
+
+val save : string -> Linalg.Matrix.t -> unit
+
+val load : string -> Linalg.Matrix.t

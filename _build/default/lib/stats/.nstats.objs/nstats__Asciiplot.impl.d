@@ -1,0 +1,1 @@
+lib/stats/asciiplot.ml: Array Buffer Ecdf Float List Printf String

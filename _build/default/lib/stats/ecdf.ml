@@ -1,0 +1,41 @@
+type t = { sorted : float array }
+
+let of_sample xs =
+  if Array.length xs = 0 then invalid_arg "Ecdf.of_sample: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  { sorted }
+
+let size t = Array.length t.sorted
+
+(* Number of elements <= x, by binary search for the rightmost such. *)
+let count_le t x =
+  let a = t.sorted in
+  let n = Array.length a in
+  let rec go lo hi =
+    (* invariant: a.(lo-1) <= x < a.(hi) with sentinels *)
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if a.(mid) <= x then go (mid + 1) hi else go lo mid
+    end
+  in
+  go 0 n
+
+let eval t x = float_of_int (count_le t x) /. float_of_int (size t)
+
+let inverse t q =
+  if q <= 0. || q > 1. then invalid_arg "Ecdf.inverse: q out of (0,1]";
+  let n = size t in
+  let k = int_of_float (Float.ceil (q *. float_of_int n)) in
+  t.sorted.(max 0 (min (n - 1) (k - 1)))
+
+let support t = (t.sorted.(0), t.sorted.(size t - 1))
+
+let curve ?(points = 20) t =
+  if points < 2 then invalid_arg "Ecdf.curve: need at least 2 points";
+  let lo, hi = support t in
+  let step = (hi -. lo) /. float_of_int (points - 1) in
+  List.init points (fun i ->
+      let x = if i = points - 1 then hi else lo +. (float_of_int i *. step) in
+      (x, eval t x))

@@ -1,0 +1,171 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64, used for seeding and splitting. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let rotl x k = Int64.(logor (shift_left x k) (shift_right_logical x (64 - k)))
+
+let uint64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (uint64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let float t =
+  (* top 53 bits -> [0,1) *)
+  let bits = Int64.shift_right_logical (uint64 t) 11 in
+  Int64.to_float bits *. (1. /. 9007199254740992.)
+
+let uniform t a b =
+  if a > b then invalid_arg "Rng.uniform: empty interval";
+  a +. ((b -. a) *. float t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: non-positive bound";
+  (* rejection sampling to avoid modulo bias *)
+  let n64 = Int64.of_int n in
+  let rec draw () =
+    let r = Int64.shift_right_logical (uint64 t) 1 in
+    (* r uniform in [0, 2^63) *)
+    let v = Int64.rem r n64 in
+    let limit = Int64.sub Int64.max_int (Int64.rem Int64.max_int n64) in
+    if Int64.compare r limit >= 0 then draw () else Int64.to_int v
+  in
+  draw ()
+
+let bool t p = float t < p
+
+let exponential t rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: non-positive rate";
+  -.log1p (-.float t) /. rate
+
+let geometric t p =
+  if p <= 0. || p > 1. then invalid_arg "Rng.geometric: p out of range";
+  if p = 1. then 0
+  else begin
+    let u = float t in
+    (* floor(log(1-u)/log(1-p)) *)
+    int_of_float (Float.floor (log1p (-.u) /. log1p (-.p)))
+  end
+
+let gaussian t =
+  let rec draw () =
+    let u1 = float t in
+    if u1 = 0. then draw ()
+    else begin
+      let u2 = float t in
+      sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+    end
+  in
+  draw ()
+
+let binomial t n p =
+  if n < 0 then invalid_arg "Rng.binomial: negative count";
+  if p <= 0. then 0
+  else if p >= 1. then n
+  else begin
+    let mean = float_of_int n *. p in
+    if n <= 64 || mean < 16. || float_of_int n -. mean < 16. then begin
+      (* direct simulation / waiting-time method for the small regime *)
+      if mean < 16. then begin
+        (* count successes via geometric gaps: O(np) expected *)
+        let count = ref 0 and pos = ref (geometric t p) in
+        while !pos < n do
+          incr count;
+          pos := !pos + 1 + geometric t p
+        done;
+        !count
+      end
+      else begin
+        let c = ref 0 in
+        for _ = 1 to n do
+          if bool t p then incr c
+        done;
+        !c
+      end
+    end
+    else begin
+      (* normal approximation with continuity correction, clamped *)
+      let sd = sqrt (mean *. (1. -. p)) in
+      let x = Float.round (mean +. (sd *. gaussian t)) in
+      let x = Float.max 0. (Float.min (float_of_int n) x) in
+      int_of_float x
+    end
+  end
+
+let poisson t lambda =
+  if lambda < 0. then invalid_arg "Rng.poisson: negative rate";
+  if lambda = 0. then 0
+  else if lambda < 30. then begin
+    (* Knuth: multiply uniforms until below e^-lambda *)
+    let limit = exp (-.lambda) in
+    let k = ref 0 and p = ref 1. in
+    let continue_ = ref true in
+    while !continue_ do
+      p := !p *. float t;
+      if !p <= limit then continue_ := false else incr k
+    done;
+    !k
+  end
+  else begin
+    let x = Float.round (lambda +. (sqrt lambda *. gaussian t)) in
+    int_of_float (Float.max 0. x)
+  end
+
+let pareto t alpha xmin =
+  if alpha <= 0. || xmin <= 0. then invalid_arg "Rng.pareto: non-positive parameter";
+  xmin /. ((1. -. float t) ** (1. /. alpha))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let x = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- x
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement: bad k";
+  (* partial Fisher-Yates over 0..n-1 *)
+  let a = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = i + int t (n - i) in
+    let x = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- x
+  done;
+  Array.sub a 0 k

@@ -1,0 +1,70 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    Every stochastic component of the simulator (topology generation, loss
+    models, probe sampling) draws from an explicit [Rng.t] so that whole
+    experiments are reproducible from a single seed and independent
+    subsystems can be given independent streams via {!split}.
+
+    The generator is xoshiro256++ seeded through splitmix64, which is more
+    than adequate for simulation workloads and has no global state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from any integer seed. *)
+
+val split : t -> t
+(** A new generator statistically independent from the parent; both may be
+    used afterwards. Used to give each link / path / snapshot its own
+    stream. *)
+
+val copy : t -> t
+(** Clone with identical future output. *)
+
+val uint64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [0, 1) with 53 bits of precision. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t a b] is uniform in [a, b). Requires [a <= b]. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n-1]. Requires [n > 0]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val exponential : t -> float -> float
+(** [exponential t rate] with mean [1/rate]. Requires [rate > 0]. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] is the number of failures before the first success of a
+    Bernoulli([p]) sequence (support {0,1,2,...}). Requires [0 < p <= 1]. *)
+
+val binomial : t -> int -> float -> int
+(** [binomial t n p]: number of successes in [n] Bernoulli([p]) trials.
+    Uses inversion for small [n*p] and a normal approximation guarded to
+    the valid range for large [n] so that million-probe snapshots stay
+    cheap. *)
+
+val gaussian : t -> float
+(** Standard normal (Box–Muller). *)
+
+val poisson : t -> float -> int
+(** [poisson t lambda]: Knuth's method below [lambda = 30], a clamped
+    normal approximation above. Requires [lambda >= 0]. *)
+
+val pareto : t -> float -> float -> float
+(** [pareto t alpha xmin]: Pareto with shape [alpha] and scale [xmin]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly random element. Raises [Invalid_argument] on empty array. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement t k n] is [k] distinct values from
+    [0..n-1], in random order. Requires [0 <= k <= n]. *)

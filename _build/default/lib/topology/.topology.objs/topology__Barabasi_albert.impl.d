@@ -1,0 +1,1 @@
+lib/topology/barabasi_albert.ml: Array Genutil Graph Hashtbl Nstats Testbed

@@ -1,0 +1,1 @@
+lib/topology/barabasi_albert.mli: Nstats Testbed

@@ -1,0 +1,1 @@
+lib/topology/flutter.ml: Array Hashtbl List Path

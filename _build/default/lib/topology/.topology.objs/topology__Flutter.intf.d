@@ -1,0 +1,1 @@
+lib/topology/flutter.mli: Path

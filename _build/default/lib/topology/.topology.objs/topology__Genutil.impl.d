@@ -1,0 +1,1 @@
+lib/topology/genutil.ml: Array Graph Hashtbl Int List Nstats Option

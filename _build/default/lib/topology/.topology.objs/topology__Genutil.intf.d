@@ -1,0 +1,1 @@
+lib/topology/genutil.mli: Graph Nstats

@@ -1,0 +1,1 @@
+lib/topology/heap.ml: Array

@@ -1,0 +1,1 @@
+lib/topology/hierarchical.ml: Array Float Genutil Graph List Nstats Testbed Waxman

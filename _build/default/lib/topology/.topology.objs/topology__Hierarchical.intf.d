@@ -1,0 +1,1 @@
+lib/topology/hierarchical.mli: Nstats Testbed

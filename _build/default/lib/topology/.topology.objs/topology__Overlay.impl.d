@@ -1,0 +1,1 @@
+lib/topology/overlay.ml: Array Barabasi_albert Float Genutil Graph Nstats Option Testbed

@@ -1,0 +1,1 @@
+lib/topology/path.ml: Array Format Graph Hashtbl List

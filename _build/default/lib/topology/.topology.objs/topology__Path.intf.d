@@ -1,0 +1,1 @@
+lib/topology/path.mli: Format Graph

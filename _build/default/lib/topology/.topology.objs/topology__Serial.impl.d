@@ -1,0 +1,1 @@
+lib/topology/serial.ml: Array Buffer Filename Graph Int List Printf String Sys Testbed

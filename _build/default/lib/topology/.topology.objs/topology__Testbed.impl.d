@@ -1,0 +1,1 @@
+lib/topology/testbed.ml: Array Flutter Format Graph Printf Routing

@@ -1,0 +1,1 @@
+lib/topology/testbed.mli: Format Graph Routing

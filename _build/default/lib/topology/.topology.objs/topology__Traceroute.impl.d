@@ -1,0 +1,1 @@
+lib/topology/traceroute.ml: Array Graph Hashtbl List Nstats Path

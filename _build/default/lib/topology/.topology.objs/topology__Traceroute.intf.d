@@ -1,0 +1,1 @@
+lib/topology/traceroute.mli: Graph Nstats Path

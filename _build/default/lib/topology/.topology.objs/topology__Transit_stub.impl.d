@@ -1,0 +1,1 @@
+lib/topology/transit_stub.ml: Array Genutil Graph Hashtbl List Nstats Testbed

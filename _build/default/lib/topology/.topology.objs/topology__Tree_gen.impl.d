@@ -1,0 +1,1 @@
+lib/topology/tree_gen.ml: Array Genutil Graph List Nstats Queue Testbed

@@ -1,0 +1,1 @@
+lib/topology/waxman.ml: Array Genutil Graph Nstats Testbed

@@ -1,0 +1,80 @@
+module Rng = Nstats.Rng
+
+let dedup_links links =
+  let norm (u, v) = if u < v then (u, v) else (v, u) in
+  links
+  |> List.filter_map (fun (u, v) -> if u = v then None else Some (norm (u, v)))
+  |> List.sort_uniq compare
+
+let components n links =
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else begin
+      parent.(i) <- find parent.(i);
+      parent.(i)
+    end
+  in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  List.iter (fun (u, v) -> union u v) links;
+  let buckets = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    let r = find i in
+    Hashtbl.replace buckets r (i :: (Option.value ~default:[] (Hashtbl.find_opt buckets r)))
+  done;
+  Hashtbl.fold (fun _ members acc -> Array.of_list members :: acc) buckets []
+
+let connect_components rng n links =
+  match components n links with
+  | [] | [ _ ] -> links
+  | main :: rest ->
+      (* attach every other component to the first by one random link *)
+      let extra =
+        List.map
+          (fun comp -> (Rng.choose rng comp, Rng.choose rng main))
+          rest
+      in
+      dedup_links (extra @ links)
+
+let degrees n links =
+  let d = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      d.(u) <- d.(u) + 1;
+      d.(v) <- d.(v) + 1)
+    links;
+  d
+
+let least_degree_nodes n links k =
+  if k > n then invalid_arg "Genutil.least_degree_nodes: k > n";
+  let d = degrees n links in
+  let ids = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = Int.compare d.(a) d.(b) in
+      if c <> 0 then c else Int.compare a b)
+    ids;
+  Array.sub ids 0 k
+
+let unit_square_points rng n =
+  Array.init n (fun _ ->
+      let x = Rng.float rng in
+      let y = Rng.float rng in
+      (x, y))
+
+let euclid (x1, y1) (x2, y2) =
+  let dx = x1 -. x2 and dy = y1 -. y2 in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let make_nodes ~host_ids ~as_of n =
+  let is_host = Array.make n false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg "Genutil.make_nodes: bad host id";
+      is_host.(i) <- true)
+    host_ids;
+  Array.init n (fun i ->
+      { Graph.id = i;
+        kind = (if is_host.(i) then Graph.Host else Graph.Router);
+        as_id = as_of i })

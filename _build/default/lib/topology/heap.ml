@@ -1,0 +1,56 @@
+type 'a t = { mutable data : (float * 'a) array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let push h key value =
+  if h.size = Array.length h.data then begin
+    (* the pushed element doubles as the filler for fresh slots *)
+    let cap = max 16 (2 * Array.length h.data) in
+    let fresh = Array.make cap (key, value) in
+    Array.blit h.data 0 fresh 0 h.size;
+    h.data <- fresh
+  end;
+  h.data.(h.size) <- (key, value);
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if fst h.data.(!i) < fst h.data.(parent) then begin
+      let tmp = h.data.(!i) in
+      h.data.(!i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      i := parent
+    end
+    else continue_ := false
+  done
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+        if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.data.(!i) in
+          h.data.(!i) <- h.data.(!smallest);
+          h.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue_ := false
+      done
+    end;
+    Some top
+  end
+
+let is_empty h = h.size = 0
+
+let size h = h.size

@@ -1,0 +1,14 @@
+(** Minimal binary min-heap keyed by floats (internal: Dijkstra). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Smallest key first; [None] when empty. *)
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int

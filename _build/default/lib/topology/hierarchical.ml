@@ -1,0 +1,74 @@
+module Rng = Nstats.Rng
+
+type flavour = Top_down | Bottom_up
+
+(* Router-level core: links among router ids 0..n_routers-1 plus an AS id
+   per router. *)
+let top_down_core rng ~ases ~routers_per_as =
+  let as_links =
+    if ases = 1 then []
+    else Waxman.links rng ~nodes:ases ~alpha:0.4 ~beta:0.3
+  in
+  let n_routers = ases * routers_per_as in
+  let as_of r = r / routers_per_as in
+  let links = ref [] in
+  (* intra-AS Waxman graphs, offset into the global id space *)
+  for a = 0 to ases - 1 do
+    let base = a * routers_per_as in
+    if routers_per_as >= 2 then begin
+      let local = Waxman.links rng ~nodes:routers_per_as ~alpha:0.5 ~beta:0.25 in
+      List.iter (fun (u, v) -> links := (base + u, base + v) :: !links) local
+    end
+  done;
+  (* inter-AS links between random border routers *)
+  List.iter
+    (fun (a1, a2) ->
+      let r1 = (a1 * routers_per_as) + Rng.int rng routers_per_as in
+      let r2 = (a2 * routers_per_as) + Rng.int rng routers_per_as in
+      links := (r1, r2) :: !links)
+    as_links;
+  let links = Genutil.connect_components rng n_routers (Genutil.dedup_links !links) in
+  (n_routers, links, as_of)
+
+let bottom_up_core rng ~ases ~routers_per_as =
+  let n_routers = ases * routers_per_as in
+  let pts = Genutil.unit_square_points rng n_routers in
+  let l = sqrt 2. in
+  let links = ref [] in
+  for i = 0 to n_routers - 1 do
+    for j = i + 1 to n_routers - 1 do
+      let d = Genutil.euclid pts.(i) pts.(j) in
+      if Rng.bool rng (0.25 *. exp (-.d /. (0.15 *. l))) then links := (i, j) :: !links
+    done
+  done;
+  let links = Genutil.connect_components rng n_routers !links in
+  (* group routers into ASes by grid cell, BRITE bottom-up style *)
+  let side = int_of_float (Float.ceil (sqrt (float_of_int ases))) in
+  let as_of r =
+    let x, y = pts.(r) in
+    let cx = min (side - 1) (int_of_float (float_of_int side *. x)) in
+    let cy = min (side - 1) (int_of_float (float_of_int side *. y)) in
+    ((cy * side) + cx) mod ases
+  in
+  (n_routers, links, as_of)
+
+let generate rng ~flavour ~ases ~routers_per_as ~hosts =
+  if ases < 1 || routers_per_as < 1 then
+    invalid_arg "Hierarchical.generate: bad shape";
+  if hosts < 2 then invalid_arg "Hierarchical.generate: need at least 2 hosts";
+  let n_routers, core_links, as_of =
+    match flavour with
+    | Top_down -> top_down_core rng ~ases ~routers_per_as
+    | Bottom_up -> bottom_up_core rng ~ases ~routers_per_as
+  in
+  if hosts > n_routers then invalid_arg "Hierarchical.generate: more hosts than routers";
+  (* attach each host to a distinct random router by an access link *)
+  let attach = Rng.sample_without_replacement rng hosts n_routers in
+  let host_ids = Array.init hosts (fun h -> n_routers + h) in
+  let access = Array.to_list (Array.mapi (fun h r -> (r, n_routers + h)) attach) in
+  let all_links = Array.of_list (core_links @ access) in
+  let n = n_routers + hosts in
+  let as_of_node i = if i < n_routers then as_of i else as_of attach.(i - n_routers) in
+  let node_array = Genutil.make_nodes ~host_ids ~as_of:as_of_node n in
+  let graph = Graph.of_undirected ~nodes:node_array ~links:all_links in
+  { Testbed.graph; beacons = host_ids; destinations = host_ids }

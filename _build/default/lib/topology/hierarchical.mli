@@ -1,0 +1,28 @@
+(** BRITE-style hierarchical topologies (Section 6.2).
+
+    Two-level Internet models with explicit AS structure, in both BRITE
+    flavours:
+
+    - {b Top-down}: generate an AS-level Waxman graph, expand each AS into
+      its own router-level Waxman graph, and realize each AS-level link as
+      a link between random border routers of the two ASes.
+    - {b Bottom-up}: generate one flat router-level graph and group
+      routers into ASes afterwards (here: by spatial grid cells, mimicking
+      BRITE's assignment of co-located routers to a domain).
+
+    AS identifiers are recorded on every node, which makes the
+    inter-/intra-AS congestion analysis of Table 3 exact. *)
+
+type flavour = Top_down | Bottom_up
+
+val generate :
+  Nstats.Rng.t ->
+  flavour:flavour ->
+  ases:int ->
+  routers_per_as:int ->
+  hosts:int ->
+  Testbed.t
+(** A connected two-level topology with [ases × routers_per_as] routers
+    (approximately, for bottom-up) and [hosts] end-host nodes attached by
+    access links to distinct random routers; the hosts are both beacons
+    and destinations. *)

@@ -1,0 +1,26 @@
+(** End-to-end paths through a graph.
+
+    A path records both its node sequence and its edge-id sequence; the
+    edge ids are what the routing matrix is built from. *)
+
+type t = { src : int; dst : int; nodes : int array; edges : int array }
+
+val make : graph:Graph.t -> nodes:int array -> t
+(** Builds a path from a node sequence, looking up each hop's edge. Raises
+    [Invalid_argument] if a hop is not an edge of the graph or the sequence
+    has fewer than two nodes. *)
+
+val length : t -> int
+(** Number of edges (hops). *)
+
+val mem_edge : t -> int -> bool
+
+val edge_position : t -> int -> int option
+(** Index of an edge along the path, if present. *)
+
+val shared_edges : t -> t -> int list
+(** Edge ids traversed by both paths, in the order of the first path. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

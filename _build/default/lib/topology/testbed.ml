@@ -1,0 +1,24 @@
+type t = { graph : Graph.t; beacons : int array; destinations : int array }
+
+let validate t =
+  let check_node role i =
+    if i < 0 || i >= Graph.node_count t.graph then
+      invalid_arg (Printf.sprintf "Testbed: %s %d is not a node" role i)
+  in
+  Array.iter (check_node "beacon") t.beacons;
+  Array.iter (check_node "destination") t.destinations;
+  if Array.length t.beacons = 0 then invalid_arg "Testbed: no beacons";
+  if Array.length t.destinations = 0 then invalid_arg "Testbed: no destinations"
+
+let routing t =
+  validate t;
+  let paths =
+    Routing.paths_between t.graph ~beacons:t.beacons ~destinations:t.destinations
+  in
+  let kept, _removed = Flutter.remove_fluttering paths in
+  Routing.reduce t.graph kept
+
+let pp ppf t =
+  Format.fprintf ppf "%a, %d beacons, %d destinations" Graph.pp t.graph
+    (Array.length t.beacons)
+    (Array.length t.destinations)

@@ -1,0 +1,18 @@
+(** A generated measurement scenario: a graph plus the end-hosts that act
+    as beacons and probing destinations. *)
+
+type t = {
+  graph : Graph.t;
+  beacons : int array;  (** node ids sending probes (the set [V_B]) *)
+  destinations : int array;  (** node ids receiving probes (the set [D]) *)
+}
+
+val routing : t -> Routing.reduced
+(** Reduced routing matrix of all beacon→destination shortest paths, with
+    fluttering paths removed first (Assumption T.2). *)
+
+val validate : t -> unit
+(** Checks beacons and destinations are valid host node ids; raises
+    [Invalid_argument] otherwise. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,92 @@
+module Rng = Nstats.Rng
+
+type t = { graph : Graph.t; paths : Path.t array }
+
+type label =
+  | Lhost of int (* true host node id *)
+  | Liface of int * int (* true router id, surviving interface index *)
+  | Lanon of int * int (* path index, hop position: never merged *)
+
+let measure rng ?(no_response = 0.075) ?(multi_iface = 0.16)
+    ?(resolve_success = 0.8) graph paths =
+  let nv = Graph.node_count graph in
+  (* Per-router measurement behaviour, fixed across all traceroutes. *)
+  let responds = Array.make nv true in
+  let ifaces = Array.make nv 1 in
+  for r = 0 to nv - 1 do
+    if (Graph.node graph r).kind = Graph.Router then begin
+      if Rng.bool rng no_response then responds.(r) <- false;
+      if Rng.bool rng multi_iface then ifaces.(r) <- 2 + Rng.int rng 2
+    end
+  done;
+  (* sr-ally resolution: per router, either all interfaces merge to index 0
+     or they all stay distinct. *)
+  let resolved = Array.init nv (fun _ -> Rng.bool rng resolve_success) in
+  let label_of_hop path_idx hop node =
+    let n = Graph.node graph node in
+    match n.kind with
+    | Graph.Host -> Lhost node
+    | Graph.Router ->
+        if not responds.(node) then Lanon (path_idx, hop)
+        else if ifaces.(node) = 1 || resolved.(node) then Liface (node, 0)
+        else Liface (node, Rng.int rng ifaces.(node))
+  in
+  let measured_node_seqs =
+    Array.mapi
+      (fun i (p : Path.t) ->
+        Array.mapi (fun hop node -> label_of_hop i hop node) p.Path.nodes)
+      paths
+  in
+  (* Assign dense measured ids; record each label's true node for AS/kind. *)
+  let ids : (label, int) Hashtbl.t = Hashtbl.create 256 in
+  let true_node = ref [] in
+  let next = ref 0 in
+  let id_of lbl tn =
+    match Hashtbl.find_opt ids lbl with
+    | Some i -> i
+    | None ->
+        let i = !next in
+        incr next;
+        Hashtbl.add ids lbl i;
+        true_node := tn :: !true_node;
+        i
+  in
+  let id_seqs =
+    Array.map2
+      (fun lbls (p : Path.t) ->
+        Array.mapi (fun hop lbl -> id_of lbl p.Path.nodes.(hop)) lbls)
+      measured_node_seqs paths
+  in
+  let true_of = Array.of_list (List.rev !true_node) in
+  let n_measured = !next in
+  let nodes =
+    Array.init n_measured (fun i ->
+        let tn = Graph.node graph true_of.(i) in
+        { Graph.id = i; kind = tn.kind; as_id = tn.as_id })
+  in
+  (* Edges: every consecutive measured pair; deduplicated. *)
+  let edge_set = Hashtbl.create 1024 in
+  Array.iter
+    (fun seq ->
+      for k = 0 to Array.length seq - 2 do
+        let key = (seq.(k), seq.(k + 1)) in
+        if fst key <> snd key then Hashtbl.replace edge_set key ()
+      done)
+    id_seqs;
+  let edges = Hashtbl.fold (fun k () acc -> k :: acc) edge_set [] in
+  let edges = Array.of_list (List.sort compare edges) in
+  let mgraph = Graph.create ~nodes ~edges in
+  let mpaths =
+    Array.map
+      (fun seq ->
+        (* collapse accidental repeats (a merged alias hop can repeat) *)
+        let compact = ref [ seq.(0) ] in
+        for k = 1 to Array.length seq - 1 do
+          match !compact with
+          | last :: _ when last = seq.(k) -> ()
+          | l -> compact := seq.(k) :: l
+        done;
+        Path.make ~graph:mgraph ~nodes:(Array.of_list (List.rev !compact)))
+      id_seqs
+  in
+  { graph = mgraph; paths = mpaths }

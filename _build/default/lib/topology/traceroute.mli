@@ -1,0 +1,31 @@
+(** Simulated traceroute topology measurement (Section 7.1).
+
+    Real traceroute-built topologies suffer two error sources the paper
+    calls out: routers that do not answer ICMP (5–10% on PlanetLab), whose
+    hops cannot be merged across paths, and routers with multiple
+    interfaces (~16%) that an sr-ally-like resolver only partially
+    disambiguates. This module replays both against a ground-truth graph:
+    the returned graph and paths are what the measurement system would
+    believe, and may split one true router into several measured nodes.
+
+    Measured nodes inherit the AS of their true router, and end-hosts are
+    always correctly identified. *)
+
+type t = {
+  graph : Graph.t;  (** the measured (possibly distorted) topology *)
+  paths : Path.t array;  (** measured image of each input path, same order *)
+}
+
+val measure :
+  Nstats.Rng.t ->
+  ?no_response:float ->
+  ?multi_iface:float ->
+  ?resolve_success:float ->
+  Graph.t ->
+  Path.t array ->
+  t
+(** [measure rng g paths] runs one traceroute per path. Defaults follow the
+    paper's observations: [no_response = 0.075], [multi_iface = 0.16]
+    (such routers expose 2 or 3 interfaces), [resolve_success = 0.8]
+    (probability sr-ally merges a router's aliases). Passing 0 for all
+    three reproduces the true topology exactly (up to node renumbering). *)

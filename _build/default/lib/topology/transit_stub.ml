@@ -1,0 +1,102 @@
+module Rng = Nstats.Rng
+
+let generate rng ?(transit_domains = 4) ?(transit_size = 6)
+    ?(stubs_per_transit_node = 2) ?(stub_size = 4) ~hosts () =
+  if transit_domains < 1 || transit_size < 1 || stubs_per_transit_node < 0
+     || stub_size < 1 then
+    invalid_arg "Transit_stub.generate: non-positive shape";
+  if hosts < 2 then invalid_arg "Transit_stub.generate: need at least 2 hosts";
+  let links = ref [] in
+  let as_ids = ref [] in
+  let next_node = ref 0 in
+  let next_as = ref 0 in
+  let fresh_node as_id =
+    let id = !next_node in
+    incr next_node;
+    as_ids := (id, as_id) :: !as_ids;
+    id
+  in
+  (* transit domains: a ring plus random chords, one AS each *)
+  let transit_nodes =
+    Array.init transit_domains (fun _ ->
+        let as_id = !next_as in
+        incr next_as;
+        let nodes = Array.init transit_size (fun _ -> fresh_node as_id) in
+        Array.iteri
+          (fun i n ->
+            links := (n, nodes.((i + 1) mod transit_size)) :: !links)
+          nodes;
+        (* a few chords make the backbone meshier *)
+        for _ = 1 to transit_size / 2 do
+          let a = Rng.choose rng nodes and b = Rng.choose rng nodes in
+          if a <> b then links := (a, b) :: !links
+        done;
+        nodes)
+  in
+  (* inter-transit links: connect consecutive domains plus one random pair *)
+  for d = 0 to transit_domains - 2 do
+    links :=
+      (Rng.choose rng transit_nodes.(d), Rng.choose rng transit_nodes.(d + 1))
+      :: !links
+  done;
+  if transit_domains > 2 then begin
+    let d1 = Rng.int rng transit_domains and d2 = Rng.int rng transit_domains in
+    if d1 <> d2 then
+      links :=
+        (Rng.choose rng transit_nodes.(d1), Rng.choose rng transit_nodes.(d2))
+        :: !links
+  end;
+  (* stub domains: a small connected cluster hanging off one transit node *)
+  let stub_routers = ref [] in
+  Array.iter
+    (fun domain ->
+      Array.iter
+        (fun anchor ->
+          for _ = 1 to stubs_per_transit_node do
+            let as_id = !next_as in
+            incr next_as;
+            let nodes = Array.init stub_size (fun _ -> fresh_node as_id) in
+            (* stub interior: a path plus a random extra edge *)
+            for i = 0 to stub_size - 2 do
+              links := (nodes.(i), nodes.(i + 1)) :: !links
+            done;
+            if stub_size > 2 then begin
+              let a = Rng.choose rng nodes and b = Rng.choose rng nodes in
+              if a <> b then links := (a, b) :: !links
+            end;
+            (* uplink to the transit anchor *)
+            links := (anchor, nodes.(0)) :: !links;
+            stub_routers := Array.to_list nodes @ !stub_routers
+          done)
+        domain)
+    transit_nodes;
+  let stub_routers = Array.of_list !stub_routers in
+  if hosts > Array.length stub_routers then
+    invalid_arg "Transit_stub.generate: more hosts than stub routers";
+  (* hosts attach to distinct random stub routers, inheriting the stub AS *)
+  let picks =
+    Rng.sample_without_replacement rng hosts (Array.length stub_routers)
+  in
+  let as_of_router =
+    let table = Hashtbl.create 256 in
+    List.iter (fun (id, a) -> Hashtbl.replace table id a) !as_ids;
+    fun id -> Hashtbl.find table id
+  in
+  let host_ids = Array.init hosts (fun h -> !next_node + h) in
+  Array.iteri
+    (fun h pick ->
+      let router = stub_routers.(pick) in
+      links := (router, !next_node + h) :: !links;
+      as_ids := (!next_node + h, as_of_router router) :: !as_ids)
+    picks;
+  let n = !next_node + hosts in
+  let as_table = Hashtbl.create 256 in
+  List.iter (fun (id, a) -> Hashtbl.replace as_table id a) !as_ids;
+  let node_array =
+    Genutil.make_nodes ~host_ids ~as_of:(Hashtbl.find as_table) n
+  in
+  let links =
+    Genutil.connect_components rng n (Genutil.dedup_links !links)
+  in
+  let graph = Graph.of_undirected ~nodes:node_array ~links:(Array.of_list links) in
+  { Testbed.graph; beacons = host_ids; destinations = host_ids }

@@ -1,0 +1,25 @@
+(** GT-ITM-style transit–stub topologies (Zegura et al. 1996) — the other
+    classic Internet model of the BRITE era, alongside Waxman and the
+    hierarchical composites.
+
+    A small set of {e transit} domains forms the backbone; each transit
+    router anchors a few {e stub} domains, and end-hosts live in stubs.
+    Traffic between stubs must climb into the transit core and descend
+    again, producing the valley-free path shapes and deep sharing that
+    distinguish ISP-like topologies from flat random graphs. Transit
+    domains get distinct AS ids, and every stub domain its own AS id. *)
+
+val generate :
+  Nstats.Rng.t ->
+  ?transit_domains:int ->
+  ?transit_size:int ->
+  ?stubs_per_transit_node:int ->
+  ?stub_size:int ->
+  hosts:int ->
+  unit ->
+  Testbed.t
+(** Defaults: 4 transit domains of 6 routers, 2 stub domains per transit
+    router, 4 routers per stub. Hosts attach to distinct random stub
+    routers and are both beacons and destinations. Raises
+    [Invalid_argument] for non-positive shape parameters or more hosts
+    than stub routers. *)

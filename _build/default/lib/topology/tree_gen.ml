@@ -1,0 +1,41 @@
+module Rng = Nstats.Rng
+
+(* Bushy random tree grown in BFS order: every internal node receives
+   between 2 and [max_branching] children (truncated by the node budget),
+   which matches the shallow, wide trees used in the multicast-tomography
+   literature the paper builds on. Depth is O(log nodes). *)
+let generate rng ~nodes ?(min_branching = 2) ~max_branching () =
+  if nodes < 2 then invalid_arg "Tree_gen.generate: need at least 2 nodes";
+  if max_branching < 1 then invalid_arg "Tree_gen.generate: branching < 1";
+  if min_branching < 1 || min_branching > max_branching then
+    invalid_arg "Tree_gen.generate: bad min_branching";
+  let parent = Array.make nodes (-1) in
+  let children = Array.make nodes 0 in
+  let next = ref 1 in
+  let frontier = Queue.create () in
+  Queue.add 0 frontier;
+  while !next < nodes do
+    let u =
+      if Queue.is_empty frontier then !next - 1 (* degenerate: extend a chain *)
+      else Queue.pop frontier
+    in
+    let lo = min min_branching max_branching in
+    let want = lo + Rng.int rng (max 1 (max_branching - lo + 1)) in
+    let take = min want (nodes - !next) in
+    for _ = 1 to take do
+      let v = !next in
+      incr next;
+      parent.(v) <- u;
+      children.(u) <- children.(u) + 1;
+      Queue.add v frontier
+    done
+  done;
+  let edges = Array.init (nodes - 1) (fun i -> (parent.(i + 1), i + 1)) in
+  let leaves =
+    Array.of_list
+      (List.filter (fun v -> children.(v) = 0) (List.init nodes (fun i -> i)))
+  in
+  let host_ids = Array.append [| 0 |] leaves in
+  let node_array = Genutil.make_nodes ~host_ids ~as_of:(fun _ -> 0) nodes in
+  let graph = Graph.create ~nodes:node_array ~edges in
+  { Testbed.graph; beacons = [| 0 |]; destinations = leaves }

@@ -1,0 +1,17 @@
+(** Random tree topologies (Section 6.1 of the paper).
+
+    A rooted tree with a bounded branching ratio; the root is the single
+    beacon and the leaves are the probing destinations. Edges are directed
+    from the root towards the leaves (the direction probes travel). *)
+
+val generate :
+  Nstats.Rng.t -> nodes:int -> ?min_branching:int -> max_branching:int ->
+  unit -> Testbed.t
+(** [generate rng ~nodes ~max_branching ()]: a random tree on [nodes]
+    nodes (ids 0..nodes-1, root 0) grown breadth-first, every internal
+    node receiving between [min_branching] (default 2) and
+    [max_branching] children. Requires [nodes >= 2] and
+    [1 <= min_branching <= max_branching]. The paper uses 1000 nodes and
+    branching ≤ 10; a higher [min_branching] gives bushier trees in which
+    an all-congested sibling set (the rare case that can eliminate a
+    congested column in Phase 2) is rarer. *)

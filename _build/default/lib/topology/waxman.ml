@@ -1,0 +1,24 @@
+module Rng = Nstats.Rng
+
+let links rng ~nodes ~alpha ~beta =
+  if nodes < 2 then invalid_arg "Waxman.links: need at least 2 nodes";
+  if alpha <= 0. || beta <= 0. then invalid_arg "Waxman.links: bad parameters";
+  let pts = Genutil.unit_square_points rng nodes in
+  let l = sqrt 2. in
+  let acc = ref [] in
+  for i = 0 to nodes - 1 do
+    for j = i + 1 to nodes - 1 do
+      let d = Genutil.euclid pts.(i) pts.(j) in
+      let p = alpha *. exp (-.d /. (beta *. l)) in
+      if Rng.bool rng p then acc := (i, j) :: !acc
+    done
+  done;
+  Genutil.connect_components rng nodes !acc
+
+let generate rng ~nodes ~hosts ?(alpha = 0.15) ?(beta = 0.2) () =
+  if hosts < 2 || hosts > nodes then invalid_arg "Waxman.generate: bad host count";
+  let lks = links rng ~nodes ~alpha ~beta in
+  let host_ids = Genutil.least_degree_nodes nodes lks hosts in
+  let node_array = Genutil.make_nodes ~host_ids ~as_of:(fun _ -> 0) nodes in
+  let graph = Graph.of_undirected ~nodes:node_array ~links:(Array.of_list lks) in
+  { Testbed.graph; beacons = host_ids; destinations = host_ids }

@@ -1,0 +1,25 @@
+(** Waxman random graphs (Waxman 1988), one of the BRITE flat models used
+    in Section 6.2.
+
+    Nodes are placed uniformly in the unit square and each pair is linked
+    with probability [alpha * exp (-d / (beta * l))] where [d] is their
+    Euclidean distance and [l] the maximum possible distance. The result
+    is made connected by bridging stranded components. *)
+
+val links :
+  Nstats.Rng.t -> nodes:int -> alpha:float -> beta:float -> (int * int) list
+(** Just the undirected link list (used as a building block by the
+    hierarchical generator). *)
+
+val generate :
+  Nstats.Rng.t ->
+  nodes:int ->
+  hosts:int ->
+  ?alpha:float ->
+  ?beta:float ->
+  unit ->
+  Testbed.t
+(** A connected Waxman graph in which the [hosts] least-connected nodes
+    (the stub nodes, as in the paper's "end-hosts are nodes with the least
+    out-degree") act as both beacons and destinations. Defaults:
+    [alpha = 0.15], [beta = 0.2]. *)

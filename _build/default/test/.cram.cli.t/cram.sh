@@ -1,0 +1,6 @@
+  $ lia_cli gen --kind tree --nodes 60 --seed 4 -o run.tb
+  $ lia_cli sim --testbed run.tb --snapshots 12 --seed 5 -o run.meas
+  $ lia_cli infer --testbed run.tb --measurements run.meas --top 4
+  $ lia_cli check --testbed run.tb
+  $ lia_cli validate --testbed run.tb --measurements run.meas --epsilon 0.01 | cut -d'(' -f2
+  $ lia_cli infer --testbed run.tb --measurements run.tb

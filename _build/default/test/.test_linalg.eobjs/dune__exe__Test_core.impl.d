@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Format Linalg List Lossmodel Netsim Nstats QCheck QCheck_alcotest Topology

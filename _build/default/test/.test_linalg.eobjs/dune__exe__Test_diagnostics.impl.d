@@ -1,0 +1,1 @@
+test/test_diagnostics.ml: Alcotest Array Core Hashtbl Linalg List Lossmodel Netsim Nstats Option String Topology

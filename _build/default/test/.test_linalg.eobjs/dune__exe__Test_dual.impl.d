@@ -1,0 +1,1 @@
+test/test_dual.ml: Alcotest Array Core Float Linalg List Nstats Topology

@@ -1,0 +1,1 @@
+test/test_estimators.ml: Alcotest Array Core Linalg Lossmodel Netsim Nstats Topology

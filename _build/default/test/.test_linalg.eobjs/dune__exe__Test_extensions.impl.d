@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Core Float Linalg List Lossmodel Netsim Nstats QCheck QCheck_alcotest Topology

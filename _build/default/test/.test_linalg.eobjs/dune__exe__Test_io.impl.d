@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Filename Linalg Netsim Nstats QCheck QCheck_alcotest Sys Topology

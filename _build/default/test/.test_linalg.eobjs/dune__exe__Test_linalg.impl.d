@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Cholesky Conjugate_gradient Float Gen Linalg List Matrix Ortho QCheck QCheck_alcotest Qr Sparse Vector

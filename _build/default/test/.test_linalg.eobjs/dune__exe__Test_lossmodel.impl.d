@@ -1,0 +1,1 @@
+test/test_lossmodel.ml: Alcotest List Lossmodel Nstats QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_multicast.ml: Alcotest Array Core Float Linalg List Lossmodel Netsim Nstats Printf QCheck QCheck_alcotest Topology

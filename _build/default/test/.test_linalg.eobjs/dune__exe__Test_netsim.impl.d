@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Float Linalg List Lossmodel Netsim Nstats QCheck QCheck_alcotest

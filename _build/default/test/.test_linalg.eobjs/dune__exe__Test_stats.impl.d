@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Linalg List Nstats QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Core Float Hashtbl Linalg List Nstats Option QCheck QCheck_alcotest Topology

@@ -1,0 +1,186 @@
+(* Tests for the EM/MLE first-moment baseline, the bootstrap confidence
+   intervals, and cross-checks between the variance estimation paths. *)
+
+module Sparse = Linalg.Sparse
+module Matrix = Linalg.Matrix
+module Vector = Linalg.Vector
+module Rng = Nstats.Rng
+module Em = Core.Em_tomography
+module VE = Core.Variance_estimator
+module Ci = Core.Variance_ci
+
+let close ?(tol = 1e-6) msg expected got = Alcotest.(check (float tol)) msg expected got
+
+(* --- EM / MLE --------------------------------------------------------- *)
+
+let test_em_single_link_exact () =
+  (* one path over one link: the MLE is the empirical rate k/S *)
+  let r = Sparse.create ~cols:1 [| [| 0 |] |] in
+  let result = Em.estimate r ~delivered:[| 900 |] ~probes:1000 in
+  close ~tol:1e-3 "MLE = k/S" 0.9 result.Em.transmission.(0)
+
+let test_em_disjoint_links_exact () =
+  let r = Sparse.create ~cols:2 [| [| 0 |]; [| 1 |] |] in
+  let result = Em.estimate r ~delivered:[| 500; 999 |] ~probes:1000 in
+  close ~tol:1e-3 "link 0" 0.5 result.Em.transmission.(0);
+  close ~tol:1e-3 "link 1" 0.999 result.Em.transmission.(1)
+
+let test_em_chain_product_right () =
+  (* two links in series observed by one path: only the product is
+     determined; the MLE must reproduce it even though the split is
+     arbitrary *)
+  let r = Sparse.create ~cols:2 [| [| 0; 1 |] |] in
+  let result = Em.estimate r ~delivered:[| 810 |] ~probes:1000 in
+  close ~tol:1e-3 "product = 0.81"
+    0.81
+    (result.Em.transmission.(0) *. result.Em.transmission.(1))
+
+let test_em_likelihood_increases () =
+  let rng = Rng.create 3 in
+  let tb = Topology.Tree_gen.generate rng ~nodes:60 ~max_branching:5 () in
+  let red = Topology.Testbed.routing tb in
+  let r = red.Topology.Routing.matrix in
+  let config = Netsim.Snapshot.default_config Lossmodel.Loss_model.llrd1_calibrated in
+  let statuses = Netsim.Snapshot.draw_statuses rng config ~links:(Sparse.cols r) in
+  let snap = Netsim.Snapshot.generate rng config ~congested:statuses r in
+  let delivered = snap.Netsim.Snapshot.received in
+  let start = Array.make (Sparse.cols r) 0.99 in
+  let ll0 = Em.log_likelihood r ~delivered ~probes:1000 start in
+  let result = Em.estimate r ~delivered ~probes:1000 in
+  Alcotest.(check bool) "likelihood improved" true (result.Em.log_likelihood >= ll0);
+  Array.iter
+    (fun t -> Alcotest.(check bool) "rate in (0,1)" true (t > 0. && t < 1.))
+    result.Em.transmission
+
+let test_em_underdetermined_vs_lia () =
+  (* the headline comparison: on a tree campaign, LIA's per-link errors
+     beat the first-moment MLE's (which cannot place the loss within a
+     path) *)
+  let rng = Rng.create 7 in
+  let tb = Topology.Tree_gen.generate rng ~nodes:150 ~max_branching:6 () in
+  let red = Topology.Testbed.routing tb in
+  let r = red.Topology.Routing.matrix in
+  let config = Netsim.Snapshot.default_config Lossmodel.Loss_model.llrd1_calibrated in
+  let run = Netsim.Simulator.run rng config r ~count:31 in
+  let y_learn, target = Netsim.Simulator.split_learning run ~learning:30 in
+  let lia = Core.Lia.infer ~r ~y_learn ~y_now:target.Netsim.Snapshot.y () in
+  let em =
+    Em.estimate r ~delivered:target.Netsim.Snapshot.received ~probes:1000
+  in
+  let em_loss = Array.map (fun t -> 1. -. t) em.Em.transmission in
+  let err v =
+    Nstats.Descriptive.mean
+      (Core.Metrics.absolute_errors ~actual:target.Netsim.Snapshot.realized
+         ~inferred:v)
+  in
+  Alcotest.(check bool) "LIA at least as accurate" true
+    (err lia.Core.Lia.loss_rates <= err em_loss +. 1e-9)
+
+let test_em_validation () =
+  Alcotest.check_raises "bad delivery count"
+    (Invalid_argument "Em_tomography.estimate: delivery count out of range")
+    (fun () ->
+      ignore
+        (Em.estimate
+           (Sparse.create ~cols:1 [| [| 0 |] |])
+           ~delivered:[| 2000 |] ~probes:1000))
+
+(* --- Variance estimation cross-checks ---------------------------------- *)
+
+let test_streaming_equals_explicit_a () =
+  let rng = Rng.create 11 in
+  let tb = Topology.Tree_gen.generate rng ~nodes:80 ~max_branching:5 () in
+  let red = Topology.Testbed.routing tb in
+  let r = red.Topology.Routing.matrix in
+  let config = Netsim.Snapshot.default_config Lossmodel.Loss_model.llrd1_calibrated in
+  let run = Netsim.Simulator.run rng config r ~count:25 in
+  let y = run.Netsim.Simulator.y in
+  let streaming = VE.estimate_streaming ~r ~y () in
+  (* explicit A + normal equations, same drop-negative convention *)
+  let a = Core.Augmented.build r in
+  let sigma = Core.Covariance.sigma_star y in
+  let explicit = VE.solve ~a ~sigma_star:sigma () in
+  Alcotest.(check bool) "same solution" true
+    (Vector.approx_equal ~tol:1e-6 streaming explicit)
+
+(* --- Bootstrap confidence intervals ------------------------------------- *)
+
+let ci_setup () =
+  let rng = Rng.create 13 in
+  let tb = Topology.Tree_gen.generate rng ~nodes:80 ~max_branching:5 () in
+  let red = Topology.Testbed.routing tb in
+  let r = red.Topology.Routing.matrix in
+  let config = Netsim.Snapshot.default_config Lossmodel.Loss_model.llrd1_calibrated in
+  let run = Netsim.Simulator.run rng config r ~count:40 in
+  (rng, r, run.Netsim.Simulator.y, run.Netsim.Simulator.snapshots.(0))
+
+let test_ci_contains_estimate () =
+  let rng, r, y, _ = ci_setup () in
+  let intervals = Ci.bootstrap ~replicates:30 rng ~r ~y in
+  Array.iter
+    (fun iv ->
+      Alcotest.(check bool) "lo <= hi" true (iv.Ci.lo <= iv.Ci.hi);
+      Alcotest.(check bool) "bounds sane" true (iv.Ci.lo >= 0.))
+    intervals
+
+let test_ci_congested_links_nonzero () =
+  let rng, r, y, snap0 = ci_setup () in
+  let intervals = Ci.bootstrap ~replicates:30 rng ~r ~y in
+  (* statically congested links should have clearly positive variance *)
+  Array.iteri
+    (fun k c ->
+      if c then
+        Alcotest.(check bool) "congested lower bound positive" true
+          (intervals.(k).Ci.lo > 0.))
+    snap0.Netsim.Snapshot.congested
+
+let test_ci_stable_ranking () =
+  (* controlled case: three single-link paths, one link far noisier than
+     the rest — its top-1 ranking must be provably separated, while a
+     top-2 cut through the two near-identical quiet links must not be *)
+  let rng = Rng.create 17 in
+  let r = Sparse.create ~cols:3 [| [| 0 |]; [| 1 |]; [| 2 |] |] in
+  let m = 60 in
+  let y =
+    Matrix.init m 3 (fun _ i ->
+        let sd = if i = 0 then 1.0 else 0.01 in
+        sd *. Rng.gaussian rng)
+  in
+  let intervals = Ci.bootstrap ~replicates:60 rng ~r ~y in
+  Alcotest.(check bool) "loud link separated" true
+    (Ci.stable_ranking intervals ~top:1);
+  Alcotest.(check bool) "cut through twins not separated" false
+    (Ci.stable_ranking intervals ~top:2)
+
+let test_ci_validation () =
+  let rng, r, y, _ = ci_setup () in
+  Alcotest.check_raises "bad confidence"
+    (Invalid_argument "Variance_ci.bootstrap: confidence out of (0,1)")
+    (fun () -> ignore (Ci.bootstrap ~confidence:2. rng ~r ~y))
+
+let () =
+  Alcotest.run "estimators"
+    [
+      ( "em",
+        [
+          Alcotest.test_case "single link exact" `Quick test_em_single_link_exact;
+          Alcotest.test_case "disjoint links exact" `Quick test_em_disjoint_links_exact;
+          Alcotest.test_case "chain product" `Quick test_em_chain_product_right;
+          Alcotest.test_case "likelihood increases" `Quick test_em_likelihood_increases;
+          Alcotest.test_case "underdetermined vs LIA" `Slow
+            test_em_underdetermined_vs_lia;
+          Alcotest.test_case "validation" `Quick test_em_validation;
+        ] );
+      ( "variance-estimation",
+        [
+          Alcotest.test_case "streaming = explicit A" `Quick
+            test_streaming_equals_explicit_a;
+        ] );
+      ( "bootstrap",
+        [
+          Alcotest.test_case "interval sanity" `Slow test_ci_contains_estimate;
+          Alcotest.test_case "congested nonzero" `Slow test_ci_congested_links_nonzero;
+          Alcotest.test_case "stable ranking" `Slow test_ci_stable_ranking;
+          Alcotest.test_case "validation" `Quick test_ci_validation;
+        ] );
+    ]

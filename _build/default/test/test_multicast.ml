@@ -1,0 +1,193 @@
+(* Tests for the multicast probe simulator and the MINC estimator (the
+   Table 1 multicast family). *)
+
+module Sparse = Linalg.Sparse
+module Rng = Nstats.Rng
+module Graph = Topology.Graph
+module Testbed = Topology.Testbed
+module Snapshot = Netsim.Snapshot
+module Multicast = Netsim.Multicast
+module Minc = Core.Minc
+
+let close ?(tol = 1e-9) msg expected got = Alcotest.(check (float tol)) msg expected got
+
+(* Figure 1 testbed: beacon 0, destinations 2 4 5; virtual links
+   0:(0-1) 1:(1-2) 2:(1-3) 3:(3-4) 4:(3-5). *)
+let fig1_routing () =
+  let nodes =
+    Array.init 6 (fun i ->
+        { Graph.id = i;
+          kind = (if i = 0 || i = 2 || i = 4 || i = 5 then Graph.Host else Graph.Router);
+          as_id = 0 })
+  in
+  let graph = Graph.create ~nodes ~edges:[| (0, 1); (1, 2); (1, 3); (3, 4); (3, 5) |] in
+  Testbed.routing { Testbed.graph; beacons = [| 0 |]; destinations = [| 2; 4; 5 |] }
+
+(* Analytic gamma for independent per-probe losses with transmission t:
+   A_k = prod of t along root path; leaves gamma = A; internal
+   gamma_k = A_k * (1 - prod_c (1 - gamma_c / A_k)). *)
+let analytic_gamma (tree : Multicast.tree) t =
+  let nc = Array.length t in
+  let a = Array.make nc 0. in
+  Array.iter
+    (fun v ->
+      let up = if tree.Multicast.parent.(v) < 0 then 1. else a.(tree.Multicast.parent.(v)) in
+      a.(v) <- up *. t.(v))
+    tree.Multicast.order;
+  let gamma = Array.make nc 0. in
+  for k = nc - 1 downto 0 do
+    let v = tree.Multicast.order.(k) in
+    let kids = tree.Multicast.children.(v) in
+    if Array.length kids = 0 then gamma.(v) <- a.(v)
+    else begin
+      let miss =
+        Array.fold_left (fun acc c -> acc *. (1. -. (gamma.(c) /. a.(v)))) 1. kids
+      in
+      gamma.(v) <- a.(v) *. (1. -. miss)
+    end
+  done;
+  (a, gamma)
+
+let test_tree_structure () =
+  let red = fig1_routing () in
+  let tree = Multicast.tree_of_routing red in
+  (* exactly one root *)
+  let roots =
+    Array.to_list tree.Multicast.parent |> List.filter (fun p -> p = -1)
+  in
+  Alcotest.(check int) "single root" 1 (List.length roots);
+  (* the root has two children, one of which has two children *)
+  let root = tree.Multicast.order.(0) in
+  Alcotest.(check int) "root fan-out" 2 (Array.length tree.Multicast.children.(root));
+  let grandchildren =
+    Array.fold_left
+      (fun acc c -> acc + Array.length tree.Multicast.children.(c))
+      0 tree.Multicast.children.(root)
+  in
+  Alcotest.(check int) "grandchildren" 2 grandchildren;
+  (* every path ends at a distinct leaf link *)
+  let leaves = Array.to_list tree.Multicast.leaf_of_path in
+  Alcotest.(check int) "three leaves" 3 (List.length (List.sort_uniq compare leaves))
+
+let test_tree_rejects_mesh () =
+  let rng = Rng.create 3 in
+  let tb = Topology.Waxman.generate rng ~nodes:40 ~hosts:6 () in
+  let red = Testbed.routing tb in
+  match Multicast.tree_of_routing red with
+  | _ -> Alcotest.fail "mesh accepted as tree"
+  | exception Invalid_argument _ -> ()
+
+let test_minc_inverts_analytic_gamma () =
+  let red = fig1_routing () in
+  let tree = Multicast.tree_of_routing red in
+  let t_true = [| 0.9; 0.95; 0.85; 0.8; 0.99 |] in
+  let _, gamma = analytic_gamma tree t_true in
+  let result = Minc.infer tree ~gamma in
+  Array.iteri
+    (fun v t ->
+      close ~tol:1e-6 (Printf.sprintf "link %d" v) t result.Minc.transmission.(v))
+    t_true
+
+let test_minc_on_simulated_bernoulli () =
+  (* large S, Bernoulli process: the estimator converges on the realized
+     rates *)
+  let red = fig1_routing () in
+  let tree = Multicast.tree_of_routing red in
+  let rng = Rng.create 5 in
+  let config =
+    { (Snapshot.default_config Lossmodel.Loss_model.llrd1) with
+      Snapshot.process = Snapshot.Bernoulli; probes = 50_000 }
+  in
+  let congested = [| true; false; true; false; false |] in
+  let obs = Multicast.observe rng config ~congested tree in
+  let result = Minc.infer tree ~gamma:obs.Multicast.gamma in
+  Array.iteri
+    (fun v realized ->
+      close ~tol:0.02
+        (Printf.sprintf "link %d rate" v)
+        (1. -. realized)
+        result.Minc.transmission.(v))
+    obs.Multicast.realized
+
+let test_observe_consistency () =
+  let red = fig1_routing () in
+  let tree = Multicast.tree_of_routing red in
+  let rng = Rng.create 7 in
+  let config = Snapshot.default_config Lossmodel.Loss_model.llrd1 in
+  let congested = [| false; true; false; false; true |] in
+  let obs = Multicast.observe rng config ~congested tree in
+  (* gamma of an ancestor is at least the gamma of any descendant *)
+  Array.iteri
+    (fun v p ->
+      if p >= 0 then
+        Alcotest.(check bool) "gamma monotone up the tree" true
+          (obs.Multicast.gamma.(p) >= obs.Multicast.gamma.(v) -. 1e-12))
+    tree.Multicast.parent;
+  (* per-path received counts match the leaf-link gamma (each leaf is a
+     single destination) *)
+  Array.iteri
+    (fun i leaf ->
+      close ~tol:1e-9 "leaf gamma = received fraction"
+        (float_of_int obs.Multicast.received.(i) /. 1000.)
+        obs.Multicast.gamma.(leaf))
+    tree.Multicast.leaf_of_path
+
+let test_minc_campaign_locates_congestion () =
+  let rng = Rng.create 11 in
+  let tb = Topology.Tree_gen.generate rng ~nodes:200 ~max_branching:6 () in
+  let red = Testbed.routing tb in
+  let tree = Multicast.tree_of_routing red in
+  let config = Snapshot.default_config Lossmodel.Loss_model.llrd1_calibrated in
+  let nc = Sparse.cols red.Topology.Routing.matrix in
+  let congested = Snapshot.draw_statuses rng config ~links:nc in
+  (* average gammas over a short campaign, then locate congestion *)
+  let gammas =
+    Array.init 10 (fun _ ->
+        (Multicast.observe rng config ~congested tree).Multicast.gamma)
+  in
+  let result = Minc.infer_average tree ~gammas in
+  let inferred = Array.map (fun t -> 1. -. t > 0.002) result.Minc.transmission in
+  let loc = Core.Metrics.location ~actual:congested ~inferred in
+  Alcotest.(check bool) "multicast DR high" true (loc.Core.Metrics.dr > 0.9)
+
+let prop_minc_roundtrip =
+  QCheck.Test.make ~count:25 ~name:"MINC inverts analytic gammas on random trees"
+    QCheck.(int_range 20 100)
+    (fun n ->
+      let rng = Rng.create (n * 37) in
+      let tb = Topology.Tree_gen.generate rng ~nodes:n ~max_branching:5 () in
+      let red = Testbed.routing tb in
+      let tree = Multicast.tree_of_routing red in
+      let nc = Array.length tree.Multicast.parent in
+      let t_true =
+        Array.init nc (fun k -> 0.7 +. (0.29 *. float_of_int ((k * 13) mod 17) /. 17.))
+      in
+      let _, gamma = analytic_gamma tree t_true in
+      let result = Minc.infer tree ~gamma in
+      let ok = ref true in
+      Array.iteri
+        (fun v t ->
+          if Float.abs (t -. result.Minc.transmission.(v)) > 1e-5 then ok := false)
+        t_true;
+      !ok)
+
+let () =
+  Alcotest.run "multicast"
+    [
+      ( "tree",
+        [
+          Alcotest.test_case "structure" `Quick test_tree_structure;
+          Alcotest.test_case "rejects mesh" `Quick test_tree_rejects_mesh;
+        ] );
+      ( "minc",
+        [
+          Alcotest.test_case "inverts analytic gamma" `Quick
+            test_minc_inverts_analytic_gamma;
+          Alcotest.test_case "simulated bernoulli" `Slow
+            test_minc_on_simulated_bernoulli;
+          Alcotest.test_case "observe consistency" `Quick test_observe_consistency;
+          Alcotest.test_case "campaign locates congestion" `Slow
+            test_minc_campaign_locates_congestion;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_minc_roundtrip ]);
+    ]

@@ -1,0 +1,298 @@
+(* Tests for the interval utilities and the snapshot/campaign simulator. *)
+
+module Rng = Nstats.Rng
+module Sparse = Linalg.Sparse
+module Matrix = Linalg.Matrix
+module Intervals = Netsim.Intervals
+module Snapshot = Netsim.Snapshot
+module Simulator = Netsim.Simulator
+module Loss_model = Lossmodel.Loss_model
+
+let close ?(tol = 1e-6) msg expected got = Alcotest.(check (float tol)) msg expected got
+
+(* A small fixed routing matrix: 3 paths over 4 links. *)
+let r3 = Sparse.create ~cols:4 [| [| 0; 1 |]; [| 0; 2 |]; [| 2; 3 |] |]
+
+let config ?(fidelity = Snapshot.Packet_level) ?(p = 0.5) ?(probes = 1000) () =
+  { (Snapshot.default_config Loss_model.llrd1) with
+    Snapshot.fidelity; congestion_prob = p; probes }
+
+(* --- Intervals ------------------------------------------------------------ *)
+
+let test_intervals_union () =
+  Alcotest.(check (list (pair int int))) "overlapping merge" [ (0, 5) ]
+    (Intervals.union [ [ (0, 3) ]; [ (2, 5) ] ]);
+  Alcotest.(check (list (pair int int))) "adjacent merge" [ (0, 4) ]
+    (Intervals.union [ [ (0, 2) ]; [ (2, 4) ] ]);
+  Alcotest.(check (list (pair int int))) "disjoint kept" [ (0, 1); (3, 4) ]
+    (Intervals.union [ [ (0, 1) ]; [ (3, 4) ] ]);
+  Alcotest.(check (list (pair int int))) "empty dropped" [ (1, 2) ]
+    (Intervals.union [ [ (1, 2); (5, 5) ]; [] ])
+
+let test_intervals_lengths () =
+  Alcotest.(check int) "total" 5 (Intervals.total_length [ (0, 2); (4, 7) ]);
+  Alcotest.(check int) "union length" 5
+    (Intervals.union_length [ [ (0, 3) ]; [ (2, 5) ] ]);
+  Alcotest.(check int) "complement" 95
+    (Intervals.complement_length ~steps:100 [ [ (0, 3) ]; [ (2, 5) ] ]);
+  Alcotest.(check int) "complement clips" 90
+    (Intervals.complement_length ~steps:100 [ [ (-5, 5); (95, 200) ] ])
+
+let test_intervals_empty () =
+  Alcotest.(check int) "empty union" 0 (Intervals.union_length []);
+  Alcotest.(check int) "full complement" 10 (Intervals.complement_length ~steps:10 [])
+
+(* --- Snapshot ---------------------------------------------------------------- *)
+
+let test_snapshot_dimensions () =
+  let rng = Rng.create 1 in
+  let cfg = config () in
+  let statuses = Snapshot.draw_statuses rng cfg ~links:4 in
+  let s = Snapshot.generate rng cfg ~congested:statuses r3 in
+  Alcotest.(check int) "loss rates per link" 4 (Array.length s.Snapshot.loss_rates);
+  Alcotest.(check int) "realized per link" 4 (Array.length s.Snapshot.realized);
+  Alcotest.(check int) "received per path" 3 (Array.length s.Snapshot.received);
+  Alcotest.(check int) "y per path" 3 (Array.length s.Snapshot.y)
+
+let test_snapshot_rates_respect_statuses () =
+  let rng = Rng.create 3 in
+  let cfg = config () in
+  let statuses = [| true; false; true; false |] in
+  for _ = 1 to 50 do
+    let s = Snapshot.generate rng cfg ~congested:statuses r3 in
+    Array.iteri
+      (fun k rate ->
+        if statuses.(k) then
+          Alcotest.(check bool) "congested rate high" true (rate >= 0.05 && rate <= 0.2)
+        else Alcotest.(check bool) "good rate low" true (rate >= 0. && rate <= 0.002))
+      s.Snapshot.loss_rates
+  done
+
+let test_snapshot_received_bounds () =
+  let rng = Rng.create 5 in
+  List.iter
+    (fun fidelity ->
+      let cfg = config ~fidelity () in
+      let statuses = Snapshot.draw_statuses rng cfg ~links:4 in
+      let s = Snapshot.generate rng cfg ~congested:statuses r3 in
+      Array.iter
+        (fun rx -> Alcotest.(check bool) "0 <= rx <= S" true (rx >= 0 && rx <= 1000))
+        s.Snapshot.received;
+      Array.iter
+        (fun y -> Alcotest.(check bool) "y finite and <= 0" true
+            (Float.is_finite y && y <= 0.))
+        s.Snapshot.y)
+    [ Snapshot.Packet_level; Snapshot.Packet_per_path; Snapshot.Flow_level ]
+
+let test_snapshot_no_loss_when_all_good_rate_zero () =
+  let rng = Rng.create 7 in
+  let model =
+    Loss_model.custom ~name:"lossless" ~good:(0., 0.) ~congested:(0.5, 0.5)
+      ~threshold:0.1
+  in
+  let cfg = { (config ()) with Snapshot.model; congestion_prob = 0. } in
+  let statuses = Array.make 4 false in
+  let s = Snapshot.generate rng cfg ~congested:statuses r3 in
+  Array.iter (fun rx -> Alcotest.(check int) "all probes arrive" 1000 rx)
+    s.Snapshot.received;
+  Array.iter (fun y -> close "y = 0" 0. y) s.Snapshot.y
+
+let test_snapshot_shared_fidelity_consistency () =
+  (* With shared chains, two paths crossing exactly the same single lossy
+     link must measure exactly the same number of received probes. *)
+  let r = Sparse.create ~cols:2 [| [| 0 |]; [| 0 |]; [| 1 |] |] in
+  let rng = Rng.create 9 in
+  let cfg = config ~p:1. () in
+  let s = Snapshot.generate rng cfg ~congested:[| true; true |] r in
+  Alcotest.(check int) "same link, same measurement"
+    s.Snapshot.received.(0) s.Snapshot.received.(1)
+
+let test_snapshot_realized_matches_received () =
+  (* single-link paths: received = S * (1 - realized) exactly under shared
+     packet fidelity *)
+  let r = Sparse.create ~cols:2 [| [| 0 |]; [| 1 |] |] in
+  let rng = Rng.create 11 in
+  let cfg = config ~p:1. () in
+  let s = Snapshot.generate rng cfg ~congested:[| true; true |] r in
+  Array.iteri
+    (fun i rx ->
+      close ~tol:1e-9 "received consistent with realized"
+        (1000. *. (1. -. s.Snapshot.realized.(i)))
+        (float_of_int rx))
+    s.Snapshot.received
+
+let test_snapshot_status_length_check () =
+  let rng = Rng.create 13 in
+  let cfg = config () in
+  Alcotest.check_raises "bad status vector"
+    (Invalid_argument "Snapshot.generate: status vector length mismatch")
+    (fun () -> ignore (Snapshot.generate rng cfg ~congested:[| true |] r3))
+
+let test_snapshot_y_clamped_at_total_loss () =
+  let rng = Rng.create 15 in
+  let model =
+    Loss_model.custom ~name:"killer" ~good:(0., 0.) ~congested:(1., 1.)
+      ~threshold:0.5
+  in
+  let cfg = { (config ()) with Snapshot.model } in
+  let s = Snapshot.generate rng cfg ~congested:[| true; true; true; true |] r3 in
+  Array.iter
+    (fun y -> Alcotest.(check bool) "finite despite total loss" true
+        (Float.is_finite y))
+    s.Snapshot.y
+
+(* --- Simulator ------------------------------------------------------------------ *)
+
+let test_simulator_run_shape () =
+  let rng = Rng.create 17 in
+  let run = Simulator.run rng (config ()) r3 ~count:10 in
+  Alcotest.(check int) "snapshots" 10 (Array.length run.Simulator.snapshots);
+  Alcotest.(check int) "y rows" 10 (Matrix.rows run.Simulator.y);
+  Alcotest.(check int) "y cols" 3 (Matrix.cols run.Simulator.y)
+
+let test_simulator_static_statuses () =
+  let rng = Rng.create 19 in
+  let run = Simulator.run ~dynamics:Simulator.Static rng (config ()) r3 ~count:8 in
+  let first = run.Simulator.snapshots.(0).Snapshot.congested in
+  Array.iter
+    (fun (s : Snapshot.t) ->
+      Alcotest.(check (array bool)) "statuses fixed" first s.Snapshot.congested)
+    run.Simulator.snapshots
+
+let test_simulator_iid_statuses_vary () =
+  let rng = Rng.create 21 in
+  let r_many = Sparse.create ~cols:50
+      (Array.init 50 (fun i -> [| i |])) in
+  let run = Simulator.run ~dynamics:Simulator.Iid rng (config ()) r_many ~count:6 in
+  let first = run.Simulator.snapshots.(0).Snapshot.congested in
+  let any_change =
+    Array.exists
+      (fun (s : Snapshot.t) -> s.Snapshot.congested <> first)
+      run.Simulator.snapshots
+  in
+  Alcotest.(check bool) "iid statuses change" true any_change
+
+let test_simulator_markov_stationary () =
+  let rng = Rng.create 23 in
+  let links = 400 in
+  let r_many = Sparse.create ~cols:links (Array.init links (fun i -> [| i |])) in
+  let cfg = config ~p:0.2 ~probes:10 () in
+  let run =
+    Simulator.run ~dynamics:(Simulator.Markov 0.7) rng cfg r_many ~count:50
+  in
+  (* long-run congestion fraction should hover near p = 0.2 *)
+  let total = ref 0 in
+  Array.iter
+    (fun (s : Snapshot.t) ->
+      Array.iter (fun c -> if c then incr total) s.Snapshot.congested)
+    run.Simulator.snapshots;
+  let frac = float_of_int !total /. float_of_int (links * 50) in
+  close ~tol:0.03 "stationary congestion fraction" 0.2 frac
+
+let test_split_learning () =
+  let rng = Rng.create 25 in
+  let run = Simulator.run rng (config ()) r3 ~count:11 in
+  let y_learn, target = Simulator.split_learning run ~learning:10 in
+  Alcotest.(check int) "learning rows" 10 (Matrix.rows y_learn);
+  Alcotest.(check bool) "target is the 11th snapshot" true
+    (target == run.Simulator.snapshots.(10));
+  Alcotest.check_raises "learning too large"
+    (Invalid_argument "Simulator.split_learning: need 0 < learning < count")
+    (fun () -> ignore (Simulator.split_learning run ~learning:11))
+
+let test_mean_variance_per_path () =
+  let rng = Rng.create 27 in
+  let run = Simulator.run rng (config ~p:0.5 ()) r3 ~count:40 in
+  let mv = Simulator.mean_variance_per_path run in
+  Alcotest.(check int) "per path" 3 (Array.length mv);
+  Array.iter
+    (fun (m, v) ->
+      Alcotest.(check bool) "mean in [0,1]" true (m >= 0. && m <= 1.);
+      Alcotest.(check bool) "variance non-negative" true (v >= 0.))
+    mv
+
+let test_monotone_mean_variance () =
+  (* Assumption S.3: on average, paths with higher mean loss have higher
+     loss variance. Check rank correlation is positive on a static mix of
+     congested and good links. *)
+  let rng = Rng.create 29 in
+  let links = 40 in
+  let r = Sparse.create ~cols:links (Array.init links (fun i -> [| i |])) in
+  let run = Simulator.run rng (config ~p:0.3 ()) r ~count:60 in
+  let mv = Simulator.mean_variance_per_path run in
+  let means = Array.map fst mv and vars = Array.map snd mv in
+  Alcotest.(check bool) "mean-variance positively correlated" true
+    (Nstats.Descriptive.correlation means vars > 0.5)
+
+(* --- Properties -------------------------------------------------------------- *)
+
+let prop_union_length_bounded =
+  QCheck.Test.make ~count:200 ~name:"union length <= sum of lengths"
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 6)
+              (list_of_size (QCheck.Gen.int_range 0 5)
+                 (pair (int_range 0 50) (int_range 0 50))))
+    (fun raw ->
+      let ls = List.map (List.map (fun (a, b) -> (min a b, max a b))) raw in
+      let sum =
+        List.fold_left (fun acc l -> acc + Intervals.total_length l) 0 ls
+      in
+      Intervals.union_length ls <= sum)
+
+let prop_complement_plus_union =
+  QCheck.Test.make ~count:200 ~name:"complement + clipped union = steps"
+    QCheck.(pair (int_range 1 100)
+              (list_of_size (QCheck.Gen.int_range 0 5)
+                 (pair (int_range 0 99) (int_range 1 40))))
+    (fun (steps, raw) ->
+      let ls = [ List.map (fun (a, len) -> (a, a + len)) raw ] in
+      let clipped =
+        Intervals.union ls
+        |> List.map (fun (a, b) -> (max 0 a, min steps b))
+        |> List.filter (fun (a, b) -> b > a)
+      in
+      Intervals.complement_length ~steps ls + Intervals.total_length clipped = steps)
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_union_length_bounded; prop_complement_plus_union ]
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "intervals",
+        [
+          Alcotest.test_case "union" `Quick test_intervals_union;
+          Alcotest.test_case "lengths" `Quick test_intervals_lengths;
+          Alcotest.test_case "empty" `Quick test_intervals_empty;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "dimensions" `Quick test_snapshot_dimensions;
+          Alcotest.test_case "rates respect statuses" `Quick
+            test_snapshot_rates_respect_statuses;
+          Alcotest.test_case "received bounds" `Quick test_snapshot_received_bounds;
+          Alcotest.test_case "lossless network" `Quick
+            test_snapshot_no_loss_when_all_good_rate_zero;
+          Alcotest.test_case "shared fidelity consistency" `Quick
+            test_snapshot_shared_fidelity_consistency;
+          Alcotest.test_case "realized matches received" `Quick
+            test_snapshot_realized_matches_received;
+          Alcotest.test_case "status length check" `Quick
+            test_snapshot_status_length_check;
+          Alcotest.test_case "total loss clamped" `Quick
+            test_snapshot_y_clamped_at_total_loss;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "run shape" `Quick test_simulator_run_shape;
+          Alcotest.test_case "static statuses" `Quick test_simulator_static_statuses;
+          Alcotest.test_case "iid statuses vary" `Quick test_simulator_iid_statuses_vary;
+          Alcotest.test_case "markov stationary" `Slow test_simulator_markov_stationary;
+          Alcotest.test_case "split learning" `Quick test_split_learning;
+          Alcotest.test_case "mean/variance per path" `Quick
+            test_mean_variance_per_path;
+          Alcotest.test_case "monotone mean-variance (S.3)" `Slow
+            test_monotone_mean_variance;
+        ] );
+      ("properties", properties);
+    ]
