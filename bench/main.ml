@@ -16,6 +16,8 @@ let experiments =
     ("tab3", Tab3.run);
     ("duration", Tab3.run);
     ("timing", Timing.run);
+    ("timing-sweep", Timing.run_sweep);
+    ("timing-smoke", Timing.run_smoke);
     ("ablations", Ablations.run);
     ("delay", Ext_delay.run);
     ("baselines", Baselines.run);

@@ -113,3 +113,112 @@ let run () =
     [ 10; 20; 30; 45 ];
   Exp_common.note
     "the 45-host overlay spans ~1400 routers; the whole inference stays in seconds"
+
+(* --- multicore jobs sweep -> BENCH_timing.json ------------------------- *)
+
+(* Wall-clock of the three parallel kernels for jobs in {1, 2, 4, 8} over
+   growing PlanetLab-like overlays, written as machine-readable JSON so
+   later PRs have a perf trajectory to compare against. The kernels are
+   bit-for-bit jobs-invariant, so only time varies. *)
+
+let time_best ~reps f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    best := Float.min !best (Unix.gettimeofday () -. t0)
+  done;
+  !best
+
+let kernels ~r ~y_learn ~a =
+  [
+    ( "estimate_streaming",
+      fun jobs ->
+        ignore (Core.Variance_estimator.estimate_streaming ~jobs ~r ~y:y_learn ()) );
+    ( "covariance_matrix",
+      fun jobs -> ignore (Nstats.Descriptive.covariance_matrix ~jobs y_learn) );
+    ("augmented_build", fun jobs -> ignore (Core.Augmented.build ~jobs r));
+    ("normal_matrix", fun jobs -> ignore (Sparse.normal_matrix ~jobs a));
+  ]
+
+let sweep ~out ~jobs_list ~reps ~snapshots ~hosts_list () =
+  Exp_common.header "multicore jobs sweep (PlanetLab-like overlays)";
+  Exp_common.note "host recommended domain count: %d"
+    (Domain.recommended_domain_count ());
+  (* spawn every pool up front so domain startup never lands in a timing *)
+  List.iter
+    (fun jobs -> if jobs > 1 then ignore (Parallel.Pool.get ~jobs))
+    jobs_list;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"bench\": \"lia-parallel-kernels\",\n";
+  Printf.bprintf buf
+    "  \"generated\": \"dune exec bench/main.exe -- timing-sweep\",\n";
+  Printf.bprintf buf "  \"host_recommended_domains\": %d,\n"
+    (Domain.recommended_domain_count ());
+  Printf.bprintf buf "  \"jobs_swept\": [%s],\n"
+    (String.concat ", " (List.map string_of_int jobs_list));
+  Printf.bprintf buf "  \"topologies\": [\n";
+  List.iteri
+    (fun ti hosts ->
+      let rng = Nstats.Rng.create (7100 + hosts) in
+      let tb = Topology.Overlay.planetlab_like rng ~hosts () in
+      let red = Topology.Testbed.routing tb in
+      let r = red.Topology.Routing.matrix in
+      let config =
+        Netsim.Snapshot.default_config Lossmodel.Loss_model.llrd1_calibrated
+      in
+      let run = Netsim.Simulator.run rng config r ~count:(snapshots + 1) in
+      let y_learn, _ = Netsim.Simulator.split_learning run ~learning:snapshots in
+      let a = Core.Augmented.build r in
+      Exp_common.subheader
+        (Printf.sprintf "%d hosts: %d paths x %d links, m = %d" hosts
+           (Sparse.rows r) (Sparse.cols r) snapshots);
+      Exp_common.row "%-22s %-6s %-12s %-10s" "kernel" "jobs" "seconds"
+        "speedup";
+      if ti > 0 then Buffer.add_string buf ",\n";
+      Printf.bprintf buf
+        "    {\n      \"kind\": \"planetlab-like\",\n      \"hosts\": %d,\n\
+        \      \"paths\": %d,\n      \"links\": %d,\n      \"snapshots\": %d,\n\
+        \      \"kernels\": [\n"
+        hosts (Sparse.rows r) (Sparse.cols r) snapshots;
+      List.iteri
+        (fun ki (name, kernel) ->
+          let times =
+            List.map (fun jobs -> (jobs, time_best ~reps (fun () -> kernel jobs))) jobs_list
+          in
+          let t1 =
+            match List.assoc_opt 1 times with
+            | Some t -> t
+            | None -> snd (List.hd times)
+          in
+          if ki > 0 then Buffer.add_string buf ",\n";
+          Printf.bprintf buf
+            "        {\n          \"name\": %S,\n          \"runs\": [" name;
+          List.iteri
+            (fun ji (jobs, t) ->
+              Exp_common.row "%-22s %-6d %-12.4f %-10.2f" name jobs t (t1 /. t);
+              if ji > 0 then Buffer.add_string buf ", ";
+              Printf.bprintf buf
+                "{\"jobs\": %d, \"seconds\": %.6f, \"speedup_vs_jobs1\": %.3f}"
+                jobs t (t1 /. t))
+            times;
+          Buffer.add_string buf "]\n        }")
+        (kernels ~r ~y_learn ~a);
+      Buffer.add_string buf "\n      ]\n    }")
+    hosts_list;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out out in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Exp_common.note "wrote %s" out
+
+let run_sweep () =
+  sweep ~out:"BENCH_timing.json" ~jobs_list:[ 1; 2; 4; 8 ] ~reps:3 ~snapshots:50
+    ~hosts_list:[ 12; 20; 32 ] ()
+
+(* tiny sizes, wired into the [bench-smoke] dune alias (and through it into
+   the default test tree) so the sweep and its JSON writer cannot rot *)
+let run_smoke () =
+  sweep ~out:"bench_smoke.json" ~jobs_list:[ 1; 2 ] ~reps:1 ~snapshots:8
+    ~hosts_list:[ 6 ] ()

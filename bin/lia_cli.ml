@@ -33,6 +33,17 @@ let measurements_arg =
     & info [ "y"; "measurements" ] ~docv:"FILE"
         ~doc:"Measurement file (from $(b,sim)).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Parallel.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains for the covariance and normal-equation kernels (default: \
+           the machine's recommended domain count, capped at 8). Results are \
+           bit-for-bit identical for every value; $(b,--jobs 1) disables the \
+           pool.")
+
 let model_conv =
   let parse = function
     | "llrd1" -> Ok Lossmodel.Loss_model.llrd1
@@ -213,7 +224,7 @@ let infer_cmd =
       value & opt int 20
       & info [ "top" ] ~docv:"K" ~doc:"Print only the K lossiest links.")
   in
-  let run testbed measurements threshold top =
+  let run testbed measurements threshold top jobs =
     let tb = Topology.Serial.load testbed in
     let red = routing_of_testbed tb in
     let r = red.Topology.Routing.matrix in
@@ -222,16 +233,19 @@ let infer_cmd =
     if m < 2 then failwith "need at least 3 snapshots (m >= 2 learning + 1 target)";
     if Matrix.cols y <> Sparse.rows r then
       failwith "measurement width does not match the testbed's path count";
+    if jobs < 1 then failwith "--jobs must be at least 1";
     let y_learn = Matrix.init m (Matrix.cols y) (fun l i -> Matrix.get y l i) in
     let y_now = Matrix.row y m in
-    let result = Core.Lia.infer ~r ~y_learn ~y_now () in
+    let result = Core.Lia.infer ~jobs ~r ~y_learn ~y_now () in
     Printf.printf "learned variances from %d snapshots\n" m;
     print_string
       (Core.Report.table
          ~options:{ Core.Report.default_options with Core.Report.threshold; top }
          ~graph:tb.Topology.Testbed.graph ~routing:red result)
   in
-  let term = Term.(const run $ testbed_arg $ measurements_arg $ threshold $ top) in
+  let term =
+    Term.(const run $ testbed_arg $ measurements_arg $ threshold $ top $ jobs_arg)
+  in
   Cmd.v
     (Cmd.info "infer"
        ~doc:

@@ -15,17 +15,20 @@ let row_pair ~np k =
   in
   find 0 k
 
-let build r =
+let build ?jobs r =
   let np = Sparse.rows r in
   let nc = Sparse.cols r in
-  let rows = Array.make (row_count ~np) [||] in
-  for i = 0 to np - 1 do
-    let ri = Sparse.row r i in
-    for j = i to np - 1 do
-      let row = if i = j then ri else Sparse.row_product ri (Sparse.row r j) in
-      rows.(row_index ~np ~i ~j) <- row
-    done
-  done;
+  let total = row_count ~np in
+  let rows = Array.make total [||] in
+  (* each augmented row is written by exactly one block, so the result is
+     independent of the jobs value *)
+  let blocks = Parallel.Chunk.block_count total in
+  Parallel.Pool.for_blocks ?jobs blocks (fun bk ->
+      let lo, hi = Parallel.Chunk.range ~blocks ~n:total bk in
+      Parallel.Chunk.iter_pairs ~np ~lo ~hi (fun k i j ->
+          rows.(k) <-
+            (if i = j then Sparse.row r i
+             else Sparse.row_product (Sparse.row r i) (Sparse.row r j))));
   Sparse.create ~cols:nc rows
 
 let update_rows r ~rows:changed a =

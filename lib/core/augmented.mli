@@ -18,10 +18,12 @@ val row_pair : np:int -> int -> int * int
 val row_count : np:int -> int
 (** [np * (np+1) / 2]. *)
 
-val build : Linalg.Sparse.t -> Linalg.Sparse.t
+val build : ?jobs:int -> Linalg.Sparse.t -> Linalg.Sparse.t
 (** The full augmented matrix, rows in {!row_index} order. For [n_p] paths
     this has [n_p (n_p + 1) / 2] rows; it stays cheap because rows are
-    stored sparsely. *)
+    stored sparsely. Row generation is spread over [jobs] domains
+    (default [Parallel.Pool.default_jobs ()]); each row is produced by
+    exactly one block, so the result is identical for every [jobs]. *)
 
 val update_rows : Linalg.Sparse.t -> rows:int list -> Linalg.Sparse.t -> Linalg.Sparse.t
 (** [update_rows r ~rows a] recomputes only the augmented rows involving

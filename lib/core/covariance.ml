@@ -1,7 +1,7 @@
 module Matrix = Linalg.Matrix
 
-let sigma_star y =
-  let sigma = Nstats.Descriptive.covariance_matrix y in
+let sigma_star ?jobs y =
+  let sigma = Nstats.Descriptive.covariance_matrix ?jobs y in
   let np = Matrix.cols y in
   Array.init (Augmented.row_count ~np) (fun k ->
       let i, j = Augmented.row_pair ~np k in

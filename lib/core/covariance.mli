@@ -4,8 +4,11 @@
     the vector [Σ̂*] of sample covariances aligned with the rows of the
     augmented matrix: entry [row_index ~np ~i ~j] holds [côv(Y_i, Y_j)]. *)
 
-val sigma_star : Linalg.Matrix.t -> Linalg.Vector.t
-(** Raises [Invalid_argument] with fewer than two snapshots (rows). *)
+val sigma_star : ?jobs:int -> Linalg.Matrix.t -> Linalg.Vector.t
+(** Raises [Invalid_argument] with fewer than two snapshots (rows).
+    [jobs] (default [Parallel.Pool.default_jobs ()]) parallelizes the
+    underlying covariance matrix; the result is bit-for-bit identical
+    for every value. *)
 
 val of_sigma_matrix : Linalg.Matrix.t -> Linalg.Vector.t
 (** Flattens an explicit [n_p × n_p] covariance matrix into the same

@@ -27,10 +27,12 @@ let infer_with_variances ~r ~variances ~y_now =
   let loss_rates = Array.map (fun t -> 1. -. t) transmission in
   { variances = Array.copy variances; transmission; loss_rates; kept; removed }
 
-let infer ?estimator ~r ~y_learn ~y_now () =
+let infer ?estimator ?jobs ~r ~y_learn ~y_now () =
   if Matrix.cols y_learn <> Sparse.rows r then
     invalid_arg "Lia: learning matrix width mismatch";
-  let variances = Variance_estimator.estimate ?options:estimator ~r ~y:y_learn () in
+  let variances =
+    Variance_estimator.estimate ?options:estimator ?jobs ~r ~y:y_learn ()
+  in
   infer_with_variances ~r ~variances ~y_now
 
 let congested result ~threshold =

@@ -19,6 +19,7 @@ type result = {
 
 val infer :
   ?estimator:Variance_estimator.options ->
+  ?jobs:int ->
   r:Linalg.Sparse.t ->
   y_learn:Linalg.Matrix.t ->
   y_now:Linalg.Vector.t ->
@@ -27,7 +28,10 @@ val infer :
 (** [infer ~r ~y_learn ~y_now ()]: [y_learn] is the [m × n_p] matrix of
     log path transmission rates of the learning snapshots; [y_now] the
     log measurement of the snapshot to diagnose. Raises
-    [Invalid_argument] on dimension mismatches. *)
+    [Invalid_argument] on dimension mismatches. [jobs] (default
+    [Parallel.Pool.default_jobs ()]) runs Phase 1's covariance and
+    normal-equation kernels on a domain pool; the inferred rates are
+    bit-for-bit independent of its value. *)
 
 val infer_with_variances :
   r:Linalg.Sparse.t ->

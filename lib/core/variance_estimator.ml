@@ -8,7 +8,7 @@ type options = { method_ : method_; drop_negative : bool; clamp : bool }
 let default_options =
   { method_ = Normal_equations; drop_negative = true; clamp = true }
 
-let solve ?(options = default_options) ~a ~sigma_star () =
+let solve ?(options = default_options) ?jobs ~a ~sigma_star () =
   if Array.length sigma_star <> Sparse.rows a then
     invalid_arg "Variance_estimator.solve: rhs length mismatch";
   let a, rhs =
@@ -22,12 +22,12 @@ let solve ?(options = default_options) ~a ~sigma_star () =
   in
   let v =
     match options.method_ with
-    | Normal_equations -> Sparse.least_squares a rhs
+    | Normal_equations -> Sparse.least_squares ?jobs a rhs
     | Dense_qr -> Qr.solve (Sparse.to_dense a) rhs
   in
   if options.clamp then Array.map (fun x -> Float.max 0. x) v else v
 
-let estimate_streaming ?(drop_negative = true) ?(clamp = true) ~r ~y () =
+let estimate_streaming ?jobs ?(drop_negative = true) ?(clamp = true) ~r ~y () =
   let np = Sparse.rows r and nc = Sparse.cols r in
   let m = Linalg.Matrix.rows y in
   if Linalg.Matrix.cols y <> np then
@@ -36,12 +36,11 @@ let estimate_streaming ?(drop_negative = true) ?(clamp = true) ~r ~y () =
     invalid_arg "Variance_estimator.estimate_streaming: need at least 2 snapshots";
   (* centered measurement columns, one array per path, for cheap pair
      covariances *)
-  let centered =
-    Array.init np (fun i ->
-        let col = Array.init m (fun l -> Linalg.Matrix.get y l i) in
-        let mu = Array.fold_left ( +. ) 0. col /. float_of_int m in
-        Array.map (fun x -> x -. mu) col)
-  in
+  let centered = Array.make np [||] in
+  Parallel.Pool.parallel_for ?jobs ~min_block:64 ~n:np (fun i ->
+      let col = Array.init m (fun l -> Linalg.Matrix.get y l i) in
+      let mu = Array.fold_left ( +. ) 0. col /. float_of_int m in
+      centered.(i) <- Array.map (fun x -> x -. mu) col);
   let cov i j =
     let ci = centered.(i) and cj = centered.(j) in
     let acc = ref 0. in
@@ -50,41 +49,75 @@ let estimate_streaming ?(drop_negative = true) ?(clamp = true) ~r ~y () =
     done;
     !acc /. float_of_int (m - 1)
   in
-  (* accumulate G = AᵀA and b = AᵀΣ̂* over non-empty augmented rows *)
-  let g = Array.init nc (fun _ -> Array.make nc 0.) in
+  (* Accumulate G = AᵀA and b = AᵀΣ̂* over the non-empty augmented rows of
+     the pair triangle, cut into blocks whose count depends only on the
+     problem size (never on [jobs]). Determinism:
+     - G's entries are counts of 1.0 increments — exact in floating
+       point — so per-domain accumulators merge to the same bits in any
+       order;
+     - b sums real covariances, so each block owns a private partial
+       vector and the partials are merged in block index order below.
+     The same floating-point operations therefore run in the same order
+     for every [jobs] value, and the result is bit-for-bit identical. *)
+  let npairs = np * (np + 1) / 2 in
+  let blocks = Parallel.Chunk.block_count npairs in
+  let partial_b = Array.init blocks (fun _ -> Array.make nc 0.) in
+  let gbufs = Parallel.Pool.Buffers.create (fun () -> Array.make (nc * nc) 0.) in
+  Parallel.Pool.for_blocks ?jobs blocks (fun bk ->
+      let lo, hi = Parallel.Chunk.range ~blocks ~n:npairs bk in
+      let b = partial_b.(bk) in
+      let g = Parallel.Pool.Buffers.borrow gbufs in
+      let last_i = ref (-1) in
+      let ri = ref [||] in
+      Parallel.Chunk.iter_pairs ~np ~lo ~hi (fun _ i j ->
+          if i <> !last_i then begin
+            last_i := i;
+            ri := Sparse.row r i
+          end;
+          let row =
+            if i = j then !ri else Sparse.row_product !ri (Sparse.row r j)
+          in
+          if Array.length row > 0 then begin
+            let s = cov i j in
+            if s >= 0. || not drop_negative then begin
+              let len = Array.length row in
+              for a = 0 to len - 1 do
+                let ja = row.(a) in
+                b.(ja) <- b.(ja) +. s;
+                let base = ja * nc in
+                for c = 0 to len - 1 do
+                  let k = base + row.(c) in
+                  g.(k) <- g.(k) +. 1.
+                done
+              done
+            end
+          end);
+      Parallel.Pool.Buffers.return gbufs g);
+  let g = Array.make (nc * nc) 0. in
+  List.iter
+    (fun p ->
+      for k = 0 to (nc * nc) - 1 do
+        g.(k) <- g.(k) +. p.(k)
+      done)
+    (Parallel.Pool.Buffers.all gbufs);
   let b = Array.make nc 0. in
-  let add_row row s =
-    let len = Array.length row in
-    for a = 0 to len - 1 do
-      let ja = row.(a) in
-      b.(ja) <- b.(ja) +. s;
-      let gja = g.(ja) in
-      for c = 0 to len - 1 do
-        gja.(row.(c)) <- gja.(row.(c)) +. 1.
-      done
-    done
-  in
-  for i = 0 to np - 1 do
-    let ri = Sparse.row r i in
-    for j = i to np - 1 do
-      let row = if i = j then ri else Sparse.row_product ri (Sparse.row r j) in
-      if Array.length row > 0 then begin
-        let s = cov i j in
-        if s >= 0. || not drop_negative then add_row row s
-      end
-    done
-  done;
-  let gm = Linalg.Matrix.init nc nc (fun i j -> g.(i).(j)) in
+  Array.iter
+    (fun p ->
+      for j = 0 to nc - 1 do
+        b.(j) <- b.(j) +. p.(j)
+      done)
+    partial_b;
+  let gm = Linalg.Matrix.init nc nc (fun i j -> g.((i * nc) + j)) in
   let f = Linalg.Cholesky.factorize_regularized gm in
   let v = Linalg.Cholesky.solve_vec f b in
   if clamp then Array.map (fun x -> Float.max 0. x) v else v
 
-let estimate ?(options = default_options) ~r ~y () =
+let estimate ?(options = default_options) ?jobs ~r ~y () =
   match options.method_ with
   | Normal_equations ->
-      estimate_streaming ~drop_negative:options.drop_negative
+      estimate_streaming ?jobs ~drop_negative:options.drop_negative
         ~clamp:options.clamp ~r ~y ()
   | Dense_qr ->
-      let a = Augmented.build r in
-      let sigma_star = Covariance.sigma_star y in
-      solve ~options ~a ~sigma_star ()
+      let a = Augmented.build ?jobs r in
+      let sigma_star = Covariance.sigma_star ?jobs y in
+      solve ~options ?jobs ~a ~sigma_star ()

@@ -21,14 +21,17 @@ val default_options : options
 (** [{ method_ = Normal_equations; drop_negative = true; clamp = true }] *)
 
 val solve :
-  ?options:options -> a:Linalg.Sparse.t -> sigma_star:Linalg.Vector.t -> unit ->
+  ?options:options -> ?jobs:int ->
+  a:Linalg.Sparse.t -> sigma_star:Linalg.Vector.t -> unit ->
   Linalg.Vector.t
 (** The estimated link variance vector [v̂] (length = columns of [a]).
     Raises [Invalid_argument] on a length mismatch and [Failure] if the
-    dense QR path meets a rank-deficient system. *)
+    dense QR path meets a rank-deficient system. [jobs] parallelizes the
+    normal-equation assembly (ignored by the dense QR path). *)
 
 val estimate :
-  ?options:options -> r:Linalg.Sparse.t -> y:Linalg.Matrix.t -> unit ->
+  ?options:options -> ?jobs:int ->
+  r:Linalg.Sparse.t -> y:Linalg.Matrix.t -> unit ->
   Linalg.Vector.t
 (** Convenience: builds [A] from [r], [Σ̂*] from the snapshot matrix [y]
     (eq. 7), and solves. With the default [Normal_equations] method this
@@ -36,6 +39,7 @@ val estimate :
     but never materializes [A]. *)
 
 val estimate_streaming :
+  ?jobs:int ->
   ?drop_negative:bool ->
   ?clamp:bool ->
   r:Linalg.Sparse.t ->
@@ -47,4 +51,9 @@ val estimate_streaming :
     share no link contribute nothing and are skipped, so memory is
     O(n_c²) regardless of the n_p(n_p+1)/2 virtual rows. This is what
     makes the PlanetLab-scale systems (hundreds of thousands of path
-    pairs) solvable in seconds, as reported in Section 6.4. *)
+    pairs) solvable in seconds, as reported in Section 6.4.
+
+    The pair triangle is partitioned into balanced blocks processed by
+    [jobs] domains (default [Parallel.Pool.default_jobs ()], so 1 on a
+    single-core host); per-block partials are merged in a fixed order, so
+    the result is bit-for-bit identical for every [jobs] value. *)

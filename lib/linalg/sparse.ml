@@ -118,11 +118,17 @@ let select_cols m idx =
   let pos = Array.make m.ncols (-1) in
   Array.iteri (fun k j -> pos.(j) <- k) idx;
   let remap r =
-    let kept = Array.to_list r |> List.filter_map (fun j ->
-        if pos.(j) >= 0 then Some pos.(j) else None)
-    in
-    let a = Array.of_list kept in
-    Array.sort compare a;
+    let buf = Array.make (Array.length r) 0 in
+    let k = ref 0 in
+    Array.iter
+      (fun j ->
+        if pos.(j) >= 0 then begin
+          buf.(!k) <- pos.(j);
+          incr k
+        end)
+      r;
+    let a = Array.sub buf 0 !k in
+    Array.sort Int.compare a;
     a
   in
   { nrows = m.nrows; ncols = Array.length idx; data = Array.map remap m.data }
@@ -142,30 +148,52 @@ let transpose m =
   (* rows were scanned in increasing i, so each out.(j) is already sorted *)
   { nrows = m.ncols; ncols = m.nrows; data = out }
 
-let normal_matrix m =
-  let g = Matrix.zeros m.ncols m.ncols in
-  Array.iter
-    (fun r ->
-      let len = Array.length r in
-      for a = 0 to len - 1 do
-        let ja = r.(a) in
-        for b = a to len - 1 do
-          let jb = r.(b) in
-          Matrix.set g ja jb (Matrix.get g ja jb +. 1.)
+let normal_matrix ?jobs m =
+  let nc = m.ncols in
+  (* Gram scatter over row blocks. Every entry of G is a count of 1.0
+     increments — exact in floating point — so per-domain partial
+     accumulators can be merged in any order without changing a bit of
+     the result, whatever the jobs value. *)
+  let blocks = Parallel.Chunk.block_count ~min_block:512 m.nrows in
+  let bufs = Parallel.Pool.Buffers.create (fun () -> Array.make (nc * nc) 0.) in
+  Parallel.Pool.for_blocks ?jobs blocks (fun bk ->
+      let lo, hi = Parallel.Chunk.range ~blocks ~n:m.nrows bk in
+      let g = Parallel.Pool.Buffers.borrow bufs in
+      for i = lo to hi - 1 do
+        let r = m.data.(i) in
+        let len = Array.length r in
+        for a = 0 to len - 1 do
+          let base = r.(a) * nc in
+          for b = a to len - 1 do
+            let k = base + r.(b) in
+            g.(k) <- g.(k) +. 1.
+          done
         done
-      done)
-    m.data;
-  for i = 0 to m.ncols - 1 do
+      done;
+      Parallel.Pool.Buffers.return bufs g);
+  let g =
+    match Parallel.Pool.Buffers.all bufs with
+    | [] -> Array.make (nc * nc) 0.
+    | first :: rest ->
+        List.iter
+          (fun p ->
+            for k = 0 to (nc * nc) - 1 do
+              first.(k) <- first.(k) +. p.(k)
+            done)
+          rest;
+        first
+  in
+  for i = 0 to nc - 1 do
     for j = 0 to i - 1 do
-      Matrix.set g i j (Matrix.get g j i)
+      g.((i * nc) + j) <- g.((j * nc) + i)
     done
   done;
-  g
+  Matrix.init nc nc (fun i j -> g.((i * nc) + j))
 
 let normal_rhs = tmul_vec
 
-let least_squares ?ridge m b =
-  let g = normal_matrix m in
+let least_squares ?ridge ?jobs m b =
+  let g = normal_matrix ?jobs m in
   let rhs = normal_rhs m b in
   let f = Cholesky.factorize_regularized ?ridge g in
   Cholesky.solve_vec f rhs

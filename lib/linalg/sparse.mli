@@ -59,14 +59,17 @@ val select_cols : t -> int array -> t
 
 val transpose : t -> t
 
-val normal_matrix : t -> Matrix.t
+val normal_matrix : ?jobs:int -> t -> Matrix.t
 (** [normal_matrix a] is the dense Gram matrix [aᵀ a], assembled row by row
-    in O(nnz per row squared). *)
+    in O(nnz per row squared). Row blocks are scattered in parallel over
+    [jobs] domains (default [Parallel.Pool.default_jobs ()]); since every
+    entry is an exact integer count, the result is bit-for-bit identical
+    for every [jobs]. *)
 
 val normal_rhs : t -> Vector.t -> Vector.t
 (** [normal_rhs a b] is [aᵀ b]. *)
 
-val least_squares : ?ridge:float -> t -> Vector.t -> Vector.t
+val least_squares : ?ridge:float -> ?jobs:int -> t -> Vector.t -> Vector.t
 (** Minimizes [‖a x − b‖₂] by solving the normal equations with a
     (regularized) Cholesky factorization. Suitable when [a] has full column
     rank, which Theorem 1 guarantees for augmented matrices of valid

@@ -16,6 +16,24 @@ simulate a campaign, run LIA, and audit the deployment.
   7      0.12842     2.191e-03   CONGESTED  7 (intra-AS)
   35     0.12800     1.669e-03   CONGESTED  35 (intra-AS)
 
+The covariance and normal-equation kernels run on a domain pool sized by
+--jobs (default: the machine's recommended domain count, capped at 8).
+Results are bit-for-bit identical for every --jobs value, so the parallel
+run reproduces the sequential report exactly.
+
+  $ lia_cli infer --testbed run.tb --measurements run.meas --top 4 --jobs 2
+  learned variances from 11 snapshots
+  kept 29 columns, eliminated 30; 8 links above tl = 0.002
+  link   loss rate   variance    verdict    edges
+  24     0.15420     5.702e-03   CONGESTED  24 (intra-AS)
+  2      0.13100     2.599e-03   CONGESTED  2 (intra-AS)
+  7      0.12842     2.191e-03   CONGESTED  7 (intra-AS)
+  35     0.12800     1.669e-03   CONGESTED  35 (intra-AS)
+
+  $ lia_cli infer --testbed run.tb --measurements run.meas --jobs 0
+  lia_cli: --jobs must be at least 1
+  [2]
+
   $ lia_cli check --testbed run.tb
   assumptions on 51 measured paths:
     every link covered by a path                  ok
