@@ -44,6 +44,12 @@ let tests (r, y_learn, target, variances) =
       Test.make ~name:"phase2-full"
         (Staged.stage (fun () ->
              Core.Lia.infer_with_variances ~r ~variances ~y_now));
+      Test.make ~name:"plan-build"
+        (Staged.stage (fun () -> Core.Plan.make ~r ~variances ()));
+      Test.make ~name:"plan-solve"
+        (Staged.stage
+           (let plan = Core.Plan.make ~r ~variances () in
+            fun () -> Core.Plan.solve plan y_now));
       Test.make ~name:"normal-solve-cholesky"
         (Staged.stage (fun () ->
              Linalg.Cholesky.solve_vec
@@ -141,7 +147,45 @@ let kernels ~r ~y_learn ~a =
     ("normal_matrix", fun jobs -> ignore (Sparse.normal_matrix ~jobs a));
   ]
 
-let sweep ~out ~jobs_list ~reps ~snapshots ~hosts_list () =
+(* Factor-once serving path: one Plan.make + Plan.solve_batch over
+   [plan_snapshots] measurement rows, against the same rows pushed one by
+   one through the historical per-call pipeline (rank reduction + fresh
+   QR each time). Also asserts the jobs-invariance contract on the
+   batch's loss rates before recording anything. *)
+let plan_stats ~jobs_list ~reps ~r ~variances ~ys =
+  let m = Linalg.Matrix.rows ys in
+  let t_build = time_best ~reps (fun () -> ignore (Core.Plan.make ~r ~variances ())) in
+  let plan = Core.Plan.make ~r ~variances () in
+  let t_batch = time_best ~reps (fun () -> ignore (Core.Plan.solve_batch plan ys)) in
+  let t_indep =
+    time_best ~reps:1 (fun () ->
+        for l = 0 to m - 1 do
+          ignore
+            (Core.Lia.infer_with_variances ~r ~variances
+               ~y_now:(Linalg.Matrix.row ys l))
+        done)
+  in
+  let reference = Core.Plan.solve_batch ~jobs:1 plan ys in
+  List.iter
+    (fun jobs ->
+      let got = Core.Plan.solve_batch ~jobs plan ys in
+      Array.iteri
+        (fun l res ->
+          let ok =
+            Array.for_all2
+              (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+              reference.(l).Core.Plan.loss_rates res.Core.Plan.loss_rates
+          in
+          if not ok then
+            failwith
+              (Printf.sprintf
+                 "plan: jobs=%d loss rates differ from jobs=1 on snapshot %d"
+                 jobs l))
+        got)
+    jobs_list;
+  (t_build, t_batch, t_indep)
+
+let sweep ~out ~jobs_list ~reps ~snapshots ~plan_snapshots ~hosts_list () =
   Exp_common.header "multicore jobs sweep (PlanetLab-like overlays)";
   Exp_common.note "host recommended domain count: %d"
     (Domain.recommended_domain_count ());
@@ -205,7 +249,42 @@ let sweep ~out ~jobs_list ~reps ~snapshots ~hosts_list () =
             times;
           Buffer.add_string buf "]\n        }")
         (kernels ~r ~y_learn ~a);
-      Buffer.add_string buf "\n      ]\n    }")
+      Buffer.add_string buf "\n      ],\n";
+      (* factor-once plan vs per-call Lia.infer_with_variances *)
+      let variances = Core.Variance_estimator.estimate_streaming ~r ~y:y_learn () in
+      let ys =
+        (Netsim.Simulator.run (Nstats.Rng.create (7700 + hosts)) config r
+           ~count:plan_snapshots)
+          .Netsim.Simulator.y
+      in
+      let t_build, t_batch, t_indep =
+        plan_stats ~jobs_list ~reps ~r ~variances ~ys
+      in
+      let t_plan = t_build +. t_batch in
+      let speedup = t_indep /. t_plan in
+      Exp_common.row "%-22s %-6s %-12s %-10s" "plan (factor once)" "-"
+        (Printf.sprintf "%.4f" t_plan)
+        (Printf.sprintf "%.1fx" speedup);
+      Exp_common.note
+        "plan: build %.2f ms + %d solves at %.1f us each = %.2f ms; %d \
+         per-call infers = %.2f ms (%.1fx, bit-identical outputs for jobs in \
+         {%s})"
+        (1e3 *. t_build) plan_snapshots
+        (1e6 *. t_batch /. float_of_int plan_snapshots)
+        (1e3 *. t_plan) plan_snapshots (1e3 *. t_indep) speedup
+        (String.concat ", " (List.map string_of_int jobs_list));
+      Printf.bprintf buf
+        "      \"plan\": {\n\
+        \        \"snapshots\": %d,\n\
+        \        \"plan_build_ms\": %.4f,\n\
+        \        \"solve_per_snapshot_us\": %.3f,\n\
+        \        \"plan_total_ms\": %.4f,\n\
+        \        \"independent_infer_ms\": %.4f,\n\
+        \        \"amortized_speedup_vs_infer\": %.2f\n\
+        \      }\n    }"
+        plan_snapshots (1e3 *. t_build)
+        (1e6 *. t_batch /. float_of_int plan_snapshots)
+        (1e3 *. t_plan) (1e3 *. t_indep) speedup)
     hosts_list;
   Buffer.add_string buf "\n  ]\n}\n";
   let oc = open_out out in
@@ -215,10 +294,10 @@ let sweep ~out ~jobs_list ~reps ~snapshots ~hosts_list () =
 
 let run_sweep () =
   sweep ~out:"BENCH_timing.json" ~jobs_list:[ 1; 2; 4; 8 ] ~reps:3 ~snapshots:50
-    ~hosts_list:[ 12; 20; 32 ] ()
+    ~plan_snapshots:100 ~hosts_list:[ 12; 20; 32 ] ()
 
 (* tiny sizes, wired into the [bench-smoke] dune alias (and through it into
    the default test tree) so the sweep and its JSON writer cannot rot *)
 let run_smoke () =
   sweep ~out:"bench_smoke.json" ~jobs_list:[ 1; 2 ] ~reps:1 ~snapshots:8
-    ~hosts_list:[ 6 ] ()
+    ~plan_snapshots:10 ~hosts_list:[ 6 ] ()

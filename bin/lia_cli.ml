@@ -224,33 +224,78 @@ let infer_cmd =
       value & opt int 20
       & info [ "top" ] ~docv:"K" ~doc:"Print only the K lossiest links.")
   in
-  let run testbed measurements threshold top jobs =
+  let snapshots_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "snapshots" ] ~docv:"FILE"
+          ~doc:
+            "Repeated-inference mode: learn variances from every snapshot of \
+             $(b,--measurements), build one factor-once inference plan, and \
+             solve each snapshot row of $(i,FILE) through it (one line per \
+             snapshot instead of the full link table).")
+  in
+  let run testbed measurements snapshots threshold top jobs =
     let tb = Topology.Serial.load testbed in
     let red = routing_of_testbed tb in
     let r = red.Topology.Routing.matrix in
     let y = Netsim.Trace_io.load measurements in
-    let m = Matrix.rows y - 1 in
-    if m < 2 then failwith "need at least 3 snapshots (m >= 2 learning + 1 target)";
     if Matrix.cols y <> Sparse.rows r then
       failwith "measurement width does not match the testbed's path count";
     if jobs < 1 then failwith "--jobs must be at least 1";
-    let y_learn = Matrix.init m (Matrix.cols y) (fun l i -> Matrix.get y l i) in
-    let y_now = Matrix.row y m in
-    let result = Core.Lia.infer ~jobs ~r ~y_learn ~y_now () in
-    Printf.printf "learned variances from %d snapshots\n" m;
-    print_string
-      (Core.Report.table
-         ~options:{ Core.Report.default_options with Core.Report.threshold; top }
-         ~graph:tb.Topology.Testbed.graph ~routing:red result)
+    match snapshots with
+    | None ->
+        let m = Matrix.rows y - 1 in
+        if m < 2 then
+          failwith "need at least 3 snapshots (m >= 2 learning + 1 target)";
+        let y_learn = Matrix.init m (Matrix.cols y) (fun l i -> Matrix.get y l i) in
+        let y_now = Matrix.row y m in
+        let result = Core.Lia.infer ~jobs ~r ~y_learn ~y_now () in
+        Printf.printf "learned variances from %d snapshots\n" m;
+        print_string
+          (Core.Report.table
+             ~options:
+               { Core.Report.default_options with Core.Report.threshold; top }
+             ~graph:tb.Topology.Testbed.graph ~routing:red result)
+    | Some file ->
+        if Matrix.rows y < 2 then
+          failwith "need at least 2 learning snapshots to learn variances";
+        let variances = Core.Variance_estimator.estimate ~jobs ~r ~y () in
+        let plan = Core.Lia.Plan.make ~jobs ~r ~variances () in
+        let ys = Netsim.Trace_io.load file in
+        if Matrix.cols ys <> Sparse.rows r then
+          failwith "snapshot width does not match the testbed's path count";
+        let results = Core.Lia.Plan.solve_batch ~jobs plan ys in
+        Printf.printf "learned variances from %d snapshots\n" (Matrix.rows y);
+        Printf.printf "plan: kept %d columns, eliminated %d; serving %d snapshots\n"
+          (Core.Plan.rank plan)
+          (Sparse.cols r - Core.Plan.rank plan)
+          (Array.length results);
+        Printf.printf "%-9s %-10s %-11s %s\n" "snapshot" "congested" "max loss"
+          "lossiest link";
+        Array.iteri
+          (fun l res ->
+            let congested = Core.Lia.congested res ~threshold in
+            let count =
+              Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 congested
+            in
+            let worst = Linalg.Vector.max_index res.Core.Lia.loss_rates in
+            Printf.printf "%-9d %-10d %-11.5f %d\n" l count
+              res.Core.Lia.loss_rates.(worst) worst)
+          results
   in
   let term =
-    Term.(const run $ testbed_arg $ measurements_arg $ threshold $ top $ jobs_arg)
+    Term.(
+      const run $ testbed_arg $ measurements_arg $ snapshots_arg $ threshold $ top
+      $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "infer"
        ~doc:
          "Run LIA: learn variances on all but the last snapshot, infer link \
-          loss rates on the last.")
+          loss rates on the last. With $(b,--snapshots), learn variances \
+          once, then serve every snapshot of the file through a single \
+          factor-once inference plan.")
     term
 
 (* --- validate ------------------------------------------------------------- *)

@@ -1,8 +1,8 @@
 module Sparse = Linalg.Sparse
 module Matrix = Linalg.Matrix
-module Qr = Linalg.Qr
+module Plan = Plan
 
-type result = {
+type result = Plan.result = {
   variances : float array;
   transmission : float array;
   loss_rates : float array;
@@ -11,21 +11,7 @@ type result = {
 }
 
 let infer_with_variances ~r ~variances ~y_now =
-  let nc = Sparse.cols r and np = Sparse.rows r in
-  if Array.length variances <> nc then
-    invalid_arg "Lia: variance length mismatch";
-  if Array.length y_now <> np then invalid_arg "Lia: measurement length mismatch";
-  let { Rank_reduction.kept; removed } = Rank_reduction.eliminate r variances in
-  let r_star = Sparse.dense_cols r kept in
-  let x_star = Qr.solve r_star y_now in
-  let transmission = Array.make nc 1. in
-  Array.iteri
-    (fun k j ->
-      (* x is a log transmission rate; numerical noise can push it above 0 *)
-      transmission.(j) <- Float.min 1. (exp x_star.(k)))
-    kept;
-  let loss_rates = Array.map (fun t -> 1. -. t) transmission in
-  { variances = Array.copy variances; transmission; loss_rates; kept; removed }
+  Plan.solve (Plan.make ~r ~variances ()) y_now
 
 let infer ?estimator ?jobs ~r ~y_learn ~y_now () =
   if Matrix.cols y_learn <> Sparse.rows r then
@@ -33,7 +19,7 @@ let infer ?estimator ?jobs ~r ~y_learn ~y_now () =
   let variances =
     Variance_estimator.estimate ?options:estimator ?jobs ~r ~y:y_learn ()
   in
-  infer_with_variances ~r ~variances ~y_now
+  Plan.solve (Plan.make ?jobs ~r ~variances ()) y_now
 
 let congested result ~threshold =
   Array.map (fun l -> l > threshold) result.loss_rates

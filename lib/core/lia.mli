@@ -4,9 +4,18 @@
     second-moment system [Σ̂* = A v]. Phase 2 sorts links by variance,
     eliminates the quietest columns from the routing matrix until it has
     full column rank, solves [Y = R* X*] on the target snapshot, and
-    assigns transmission rate 1 (loss 0) to the eliminated links. *)
+    assigns transmission rate 1 (loss 0) to the eliminated links.
 
-type result = {
+    Both entry points are thin wrappers over {!Plan}: they build a
+    single-use inference plan and solve one measurement through it. A
+    serving loop that diagnoses many snapshots against the same routing
+    matrix and variances should call [Plan.make] once and amortize the
+    factorization across [Plan.solve] / [Plan.solve_batch] calls. *)
+
+module Plan = Plan
+(** The factor-once, solve-many serving path. *)
+
+type result = Plan.result = {
   variances : float array;
       (** learnt loss-variance per link (Phase 1 output) *)
   transmission : float array;
@@ -30,8 +39,8 @@ val infer :
     log measurement of the snapshot to diagnose. Raises
     [Invalid_argument] on dimension mismatches. [jobs] (default
     [Parallel.Pool.default_jobs ()]) runs Phase 1's covariance and
-    normal-equation kernels on a domain pool; the inferred rates are
-    bit-for-bit independent of its value. *)
+    normal-equation kernels and Phase 2's QR on a domain pool; the
+    inferred rates are bit-for-bit independent of its value. *)
 
 val infer_with_variances :
   r:Linalg.Sparse.t ->
@@ -39,7 +48,10 @@ val infer_with_variances :
   y_now:Linalg.Vector.t ->
   result
 (** Phase 2 only, for re-using variances learnt once across many target
-    snapshots (as the duration analysis of Section 7.2.2 does). *)
+    snapshots (as the duration analysis of Section 7.2.2 does).
+    Equivalent to [Plan.solve (Plan.make ~r ~variances ()) y_now]; when
+    calling repeatedly with the same [r] and [variances], build the plan
+    once instead. *)
 
 val congested : result -> threshold:float -> bool array
 (** Links whose inferred loss rate exceeds the threshold [tl]. *)

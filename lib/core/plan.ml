@@ -1,0 +1,68 @@
+module Sparse = Linalg.Sparse
+module Matrix = Linalg.Matrix
+module Qr = Linalg.Qr
+
+type result = {
+  variances : float array;
+  transmission : float array;
+  loss_rates : float array;
+  kept : int array;
+  removed : int array;
+}
+
+type t = {
+  np : int;
+  nc : int;
+  variances : float array;
+  kept : int array;
+  removed : int array;
+  fact : Qr.t;
+}
+
+let make ?jobs ~r ~variances () =
+  let nc = Sparse.cols r and np = Sparse.rows r in
+  if Array.length variances <> nc then
+    invalid_arg "Lia: variance length mismatch";
+  let { Rank_reduction.kept; removed } = Rank_reduction.eliminate r variances in
+  let r_star = Sparse.dense_cols r kept in
+  let fact = Qr.factorize ?jobs r_star in
+  { np; nc; variances = Array.copy variances; kept; removed; fact }
+
+let paths p = p.np
+
+let links p = p.nc
+
+let rank p = Array.length p.kept
+
+let kept p = Array.copy p.kept
+
+let removed p = Array.copy p.removed
+
+let variances p = Array.copy p.variances
+
+let result_of_x p x_star =
+  let transmission = Array.make p.nc 1. in
+  Array.iteri
+    (fun k j ->
+      (* x is a log transmission rate; numerical noise can push it above 0 *)
+      transmission.(j) <- Float.min 1. (exp x_star.(k)))
+    p.kept;
+  let loss_rates = Array.map (fun t -> 1. -. t) transmission in
+  {
+    variances = Array.copy p.variances;
+    transmission;
+    loss_rates;
+    kept = Array.copy p.kept;
+    removed = Array.copy p.removed;
+  }
+
+let solve p y_now =
+  if Array.length y_now <> p.np then invalid_arg "Lia: measurement length mismatch";
+  result_of_x p (Qr.least_squares p.fact y_now)
+
+let solve_batch ?jobs p y =
+  if Matrix.cols y <> p.np then invalid_arg "Lia: measurement length mismatch";
+  (* one RHS per column: reflectors then sweep all snapshots per pass *)
+  let b = Matrix.transpose y in
+  let x = Qr.least_squares_batch ?jobs p.fact b in
+  Array.init (Matrix.rows y) (fun l -> result_of_x p (Matrix.col x l))

@@ -4,11 +4,11 @@ module Ortho = Linalg.Ortho
 
 type result = { kept : int array; removed : int array }
 
-let dense_column r j =
-  let col = Array.make (Sparse.rows r) 0. in
-  for i = 0 to Sparse.rows r - 1 do
-    if Sparse.get r i j then col.(i) <- 1.
-  done;
+(* Scatter column j through a CSC-style index (one Sparse.cols_index pass
+   per scan): O(nnz of the column) instead of n_p binary searches. *)
+let dense_column ~np index j =
+  let col = Array.make np 0. in
+  Array.iter (fun i -> col.(i) <- 1.) index.(j);
   col
 
 (* Columns in descending variance order; index ties broken towards higher
@@ -23,13 +23,15 @@ let descending_order r v =
 
 let scan ~stop_at_first_dependent r v =
   let order = descending_order r v in
-  let basis = Ortho.create ~dim:(Sparse.rows r) in
+  let np = Sparse.rows r in
+  let index = Sparse.cols_index r in
+  let basis = Ortho.create ~dim:np in
   let kept = ref [] and removed = ref [] in
   let stopped = ref false in
   Array.iter
     (fun j ->
       if !stopped then removed := j :: !removed
-      else if Ortho.try_add basis (dense_column r j) then kept := j :: !kept
+      else if Ortho.try_add basis (dense_column ~np index j) then kept := j :: !kept
       else begin
         removed := j :: !removed;
         if stop_at_first_dependent then stopped := true
@@ -42,9 +44,11 @@ let eliminate r v = scan ~stop_at_first_dependent:true r v
 let eliminate_greedy r v = scan ~stop_at_first_dependent:false r v
 
 let is_full_column_rank r =
-  let basis = Ortho.create ~dim:(Sparse.rows r) in
+  let np = Sparse.rows r in
+  let index = Sparse.cols_index r in
+  let basis = Ortho.create ~dim:np in
   let ok = ref true in
   for j = 0 to Sparse.cols r - 1 do
-    if !ok && not (Ortho.try_add basis (dense_column r j)) then ok := false
+    if !ok && not (Ortho.try_add basis (dense_column ~np index j)) then ok := false
   done;
   !ok

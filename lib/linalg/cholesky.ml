@@ -65,19 +65,19 @@ let solve_vec f b =
   if Array.length b <> f.n then invalid_arg "Cholesky.solve_vec: dimension mismatch";
   let y = Array.make f.n 0. in
   for i = 0 to f.n - 1 do
-    let s = ref b.(i) in
+    let s = ref (Array.unsafe_get b i) in
     for k = 0 to i - 1 do
-      s := !s -. (Matrix.get f.l i k *. y.(k))
+      s := !s -. (Matrix.unsafe_get f.l i k *. Array.unsafe_get y k)
     done;
-    y.(i) <- !s /. Matrix.get f.l i i
+    Array.unsafe_set y i (!s /. Matrix.unsafe_get f.l i i)
   done;
   let x = Array.make f.n 0. in
   for i = f.n - 1 downto 0 do
-    let s = ref y.(i) in
+    let s = ref (Array.unsafe_get y i) in
     for k = i + 1 to f.n - 1 do
-      s := !s -. (Matrix.get f.l k i *. x.(k))
+      s := !s -. (Matrix.unsafe_get f.l k i *. Array.unsafe_get x k)
     done;
-    x.(i) <- !s /. Matrix.get f.l i i
+    Array.unsafe_set x i (!s /. Matrix.unsafe_get f.l i i)
   done;
   x
 

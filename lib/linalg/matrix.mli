@@ -31,6 +31,14 @@ val get : t -> int -> int -> float
 
 val set : t -> int -> int -> float -> unit
 
+val unsafe_get : t -> int -> int -> float
+(** [get] without bounds checks, for the inner loops of the factorizations
+    ([Qr], [Cholesky]) where the enclosing loop already pins the indices.
+    Out-of-range indices are undefined behaviour. *)
+
+val unsafe_set : t -> int -> int -> float -> unit
+(** [set] without bounds checks; same contract as {!unsafe_get}. *)
+
 val copy : t -> t
 
 val row : t -> int -> Vector.t

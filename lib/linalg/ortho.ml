@@ -10,14 +10,25 @@ let size b = List.length b.basis
 
 (* Project out the span in place; two passes of modified Gram-Schmidt keep
    the residual orthogonal to working precision even for nearly dependent
-   inputs. *)
+   inputs. The dot/axpy pair is fused into one unchecked loop body: this
+   runs once per (basis vector, candidate column) pair of the rank
+   reduction, where the bounds checks alone are measurable. *)
 let orthogonalize b v =
   let w = Vector.copy v in
+  let n = Array.length w in
   let pass () =
     List.iter
       (fun q ->
-        let c = Vector.dot q w in
-        if c <> 0. then Vector.axpy (-.c) q w)
+        let c = ref 0. in
+        for i = 0 to n - 1 do
+          c := !c +. (Array.unsafe_get q i *. Array.unsafe_get w i)
+        done;
+        let c = !c in
+        if c <> 0. then
+          for i = 0 to n - 1 do
+            Array.unsafe_set w i
+              ((-.c *. Array.unsafe_get q i) +. Array.unsafe_get w i)
+          done)
       b.basis
   in
   pass ();

@@ -1,3 +1,6 @@
+module Pool = Parallel.Pool
+module Chunk = Parallel.Chunk
+
 type t = {
   m : int;
   n : int;
@@ -11,44 +14,56 @@ type t = {
 let house_column a m k =
   let alpha = ref 0. in
   for i = k to m - 1 do
-    let x = Matrix.get a i k in
+    let x = Matrix.unsafe_get a i k in
     alpha := !alpha +. (x *. x)
   done;
   let alpha = sqrt !alpha in
   if alpha = 0. then 0.
   else begin
-    let akk = Matrix.get a k k in
+    let akk = Matrix.unsafe_get a k k in
     let alpha = if akk > 0. then -.alpha else alpha in
     let v0 = akk -. alpha in
     (* v = x - alpha e1; normalize so v.(k) = 1 *)
     if v0 = 0. then 0.
     else begin
       for i = k + 1 to m - 1 do
-        Matrix.set a i k (Matrix.get a i k /. v0)
+        Matrix.unsafe_set a i k (Matrix.unsafe_get a i k /. v0)
       done;
       let vtv = ref 1. in
       for i = k + 1 to m - 1 do
-        let v = Matrix.get a i k in
+        let v = Matrix.unsafe_get a i k in
         vtv := !vtv +. (v *. v)
       done;
-      Matrix.set a k k alpha;
+      Matrix.unsafe_set a k k alpha;
       2. /. !vtv
     end
   end
 
 let apply_house_to_col a m k beta j =
   (* column j of the trailing matrix: x <- x - beta v (v' x) *)
-  let vtx = ref (Matrix.get a k j) in
+  let vtx = ref (Matrix.unsafe_get a k j) in
   for i = k + 1 to m - 1 do
-    vtx := !vtx +. (Matrix.get a i k *. Matrix.get a i j)
+    vtx := !vtx +. (Matrix.unsafe_get a i k *. Matrix.unsafe_get a i j)
   done;
   let s = beta *. !vtx in
-  Matrix.set a k j (Matrix.get a k j -. s);
+  Matrix.unsafe_set a k j (Matrix.unsafe_get a k j -. s);
   for i = k + 1 to m - 1 do
-    Matrix.set a i j (Matrix.get a i j -. (s *. Matrix.get a i k))
+    Matrix.unsafe_set a i j (Matrix.unsafe_get a i j -. (s *. Matrix.unsafe_get a i k))
   done
 
-let factorize_gen ~pivot mat =
+(* Distinct columns touch disjoint state, so the trailing update can run
+   one column per pool task; blocks are sized so each carries a few
+   thousand flops whatever the column height. Column j's arithmetic is
+   independent of which domain runs it — bit-for-bit jobs-invariant. *)
+let update_trailing ?jobs a m n k beta =
+  let cols = n - k - 1 in
+  if cols > 0 then
+    Pool.parallel_for ?jobs
+      ~min_block:(max 8 (4096 / (max 1 (m - k))))
+      ~n:cols
+      (fun t -> apply_house_to_col a m k beta (k + 1 + t))
+
+let factorize_gen ?jobs ~pivot mat =
   let m = Matrix.rows mat and n = Matrix.cols mat in
   let a = Matrix.copy mat in
   let steps = min m n in
@@ -61,9 +76,9 @@ let factorize_gen ~pivot mat =
   let swap_cols j1 j2 =
     if j1 <> j2 then begin
       for i = 0 to m - 1 do
-        let x = Matrix.get a i j1 in
-        Matrix.set a i j1 (Matrix.get a i j2);
-        Matrix.set a i j2 x
+        let x = Matrix.unsafe_get a i j1 in
+        Matrix.unsafe_set a i j1 (Matrix.unsafe_get a i j2);
+        Matrix.unsafe_set a i j2 x
       done;
       let p = piv.(j1) in
       piv.(j1) <- piv.(j2);
@@ -83,21 +98,18 @@ let factorize_gen ~pivot mat =
     end;
     let b = house_column a m k in
     beta.(k) <- b;
-    if b <> 0. then
-      for j = k + 1 to n - 1 do
-        apply_house_to_col a m k b j
-      done;
+    if b <> 0. then update_trailing ?jobs a m n k b;
     if pivot then
       for j = k + 1 to n - 1 do
-        let rkj = Matrix.get a k j in
+        let rkj = Matrix.unsafe_get a k j in
         colnorm2.(j) <- Float.max 0. (colnorm2.(j) -. (rkj *. rkj))
       done
   done;
   { m; n; a; beta; piv }
 
-let factorize mat = factorize_gen ~pivot:false mat
+let factorize ?jobs mat = factorize_gen ?jobs ~pivot:false mat
 
-let factorize_pivoted mat = factorize_gen ~pivot:true mat
+let factorize_pivoted ?jobs mat = factorize_gen ?jobs ~pivot:true mat
 
 let pivots f = Array.copy f.piv
 
@@ -105,17 +117,27 @@ let r f =
   let k = min f.m f.n in
   Matrix.init k f.n (fun i j -> if j >= i then Matrix.get f.a i j else 0.)
 
-let rank ?(rtol = 1e-10) f =
+(* Every tolerance decision in this module is relative to the largest
+   diagonal magnitude of R; [rank] and [solve_r] differ only in their
+   default rtol. *)
+let max_abs_diag f =
   let k = min f.m f.n in
   let dmax = ref 0. in
   for i = 0 to k - 1 do
-    dmax := Float.max !dmax (Float.abs (Matrix.get f.a i i))
+    dmax := Float.max !dmax (Float.abs (Matrix.unsafe_get f.a i i))
   done;
-  if !dmax = 0. then 0
+  !dmax
+
+let negligible ~rtol ~dmax d = d = 0. || Float.abs d <= rtol *. dmax
+
+let rank ?(rtol = 1e-10) f =
+  let k = min f.m f.n in
+  let dmax = max_abs_diag f in
+  if dmax = 0. then 0
   else begin
     let cnt = ref 0 in
     for i = 0 to k - 1 do
-      if Float.abs (Matrix.get f.a i i) > rtol *. !dmax then incr cnt
+      if not (negligible ~rtol ~dmax (Matrix.unsafe_get f.a i i)) then incr cnt
     done;
     !cnt
   end
@@ -126,49 +148,130 @@ let apply_qt f b =
   for k = 0 to Array.length f.beta - 1 do
     let beta = f.beta.(k) in
     if beta <> 0. then begin
-      let vty = ref y.(k) in
+      let vty = ref (Array.unsafe_get y k) in
       for i = k + 1 to f.m - 1 do
-        vty := !vty +. (Matrix.get f.a i k *. y.(i))
+        vty := !vty +. (Matrix.unsafe_get f.a i k *. Array.unsafe_get y i)
       done;
       let s = beta *. !vty in
-      y.(k) <- y.(k) -. s;
+      Array.unsafe_set y k (Array.unsafe_get y k -. s);
       for i = k + 1 to f.m - 1 do
-        y.(i) <- y.(i) -. (s *. Matrix.get f.a i k)
+        Array.unsafe_set y i
+          (Array.unsafe_get y i -. (s *. Matrix.unsafe_get f.a i k))
       done
     end
   done;
   y
 
-let solve_r f c =
+let default_solve_rtol = 1e-13
+
+let check_solvable ~rtol f =
+  if f.m < f.n then failwith "Qr.solve_r: underdetermined system";
+  let dmax = max_abs_diag f in
+  for i = 0 to f.n - 1 do
+    if negligible ~rtol ~dmax (Matrix.unsafe_get f.a i i) then
+      failwith "Qr.solve_r: singular triangular factor"
+  done
+
+let solve_r ?(rtol = default_solve_rtol) f c =
   let n = f.n in
   if f.m < n then failwith "Qr.solve_r: underdetermined system";
   if Array.length c < n then invalid_arg "Qr.solve_r: dimension mismatch";
+  check_solvable ~rtol f;
   let x = Array.make n 0. in
-  let dmax = ref 0. in
-  for i = 0 to n - 1 do
-    dmax := Float.max !dmax (Float.abs (Matrix.get f.a i i))
-  done;
   for i = n - 1 downto 0 do
-    let d = Matrix.get f.a i i in
-    if Float.abs d <= 1e-13 *. !dmax || d = 0. then
-      failwith "Qr.solve_r: singular triangular factor";
-    let acc = ref c.(i) in
+    let d = Matrix.unsafe_get f.a i i in
+    let acc = ref (Array.unsafe_get c i) in
     for j = i + 1 to n - 1 do
-      acc := !acc -. (Matrix.get f.a i j *. x.(j))
+      acc := !acc -. (Matrix.unsafe_get f.a i j *. Array.unsafe_get x j)
     done;
-    x.(i) <- !acc /. d
+    Array.unsafe_set x i (!acc /. d)
   done;
   x
 
-let least_squares f b =
+let least_squares ?rtol f b =
   let qtb = apply_qt f b in
-  let x = solve_r f qtb in
+  let x = solve_r ?rtol f qtb in
   let out = Array.make f.n 0. in
   for j = 0 to f.n - 1 do
     out.(f.piv.(j)) <- x.(j)
   done;
   out
 
+(* Batched right-hand sides. The work matrix keeps one RHS per column, so
+   a reflector pass scans contiguous rows once for the whole column slice
+   instead of once per RHS; slices of at least 8 columns keep every
+   fetched cache line fully used. Per column the arithmetic and its order
+   are exactly those of [apply_qt] + [solve_r], and each task owns a
+   disjoint column range, so column c of the result is bit-for-bit
+   [least_squares f (Matrix.col b c)] for every [jobs] value. *)
+let least_squares_batch ?(rtol = default_solve_rtol) ?jobs f b =
+  if Matrix.rows b <> f.m then
+    invalid_arg "Qr.least_squares_batch: dimension mismatch";
+  check_solvable ~rtol f;
+  let n = f.n and m = f.m in
+  let nrhs = Matrix.cols b in
+  let w = Matrix.copy b in
+  let x = Matrix.zeros n nrhs in
+  let steps = Array.length f.beta in
+  let solve_slice clo chi =
+    let width = chi - clo in
+    let s = Array.make (max width 0) 0. in
+    (* Qᵀ applied to every column of the slice, reflector by reflector *)
+    for k = 0 to steps - 1 do
+      let beta = f.beta.(k) in
+      if beta <> 0. then begin
+        for c = 0 to width - 1 do
+          Array.unsafe_set s c (Matrix.unsafe_get w k (clo + c))
+        done;
+        for i = k + 1 to m - 1 do
+          let v = Matrix.unsafe_get f.a i k in
+          for c = 0 to width - 1 do
+            Array.unsafe_set s c
+              (Array.unsafe_get s c +. (v *. Matrix.unsafe_get w i (clo + c)))
+          done
+        done;
+        for c = 0 to width - 1 do
+          let sc = beta *. Array.unsafe_get s c in
+          Array.unsafe_set s c sc;
+          Matrix.unsafe_set w k (clo + c) (Matrix.unsafe_get w k (clo + c) -. sc)
+        done;
+        for i = k + 1 to m - 1 do
+          let v = Matrix.unsafe_get f.a i k in
+          for c = 0 to width - 1 do
+            Matrix.unsafe_set w i (clo + c)
+              (Matrix.unsafe_get w i (clo + c) -. (Array.unsafe_get s c *. v))
+          done
+        done
+      end
+    done;
+    (* back-substitution on the leading n×n block of R, per column *)
+    for i = n - 1 downto 0 do
+      let d = Matrix.unsafe_get f.a i i in
+      for c = 0 to width - 1 do
+        let acc = ref (Matrix.unsafe_get w i (clo + c)) in
+        for j = i + 1 to n - 1 do
+          acc :=
+            !acc -. (Matrix.unsafe_get f.a i j *. Matrix.unsafe_get x j (clo + c))
+        done;
+        Matrix.unsafe_set x i (clo + c) (!acc /. d)
+      done
+    done
+  in
+  let blocks = Chunk.block_count ~min_block:8 nrhs in
+  if blocks > 0 then
+    Pool.for_blocks ?jobs blocks (fun bk ->
+        let clo, chi = Chunk.range ~blocks ~n:nrhs bk in
+        solve_slice clo chi);
+  (* undo the column pivoting (identity for unpivoted factorizations) *)
+  let out = Matrix.zeros n nrhs in
+  for j = 0 to n - 1 do
+    let pj = f.piv.(j) in
+    for c = 0 to nrhs - 1 do
+      Matrix.unsafe_set out pj c (Matrix.unsafe_get x j c)
+    done
+  done;
+  out
+
 let matrix_rank ?rtol mat = rank ?rtol (factorize_pivoted mat)
 
-let solve mat b = least_squares (factorize mat) b
+let solve ?rtol ?jobs mat b = least_squares ?rtol (factorize ?jobs mat) b

@@ -133,7 +133,7 @@ let select_cols m idx =
   in
   { nrows = m.nrows; ncols = Array.length idx; data = Array.map remap m.data }
 
-let transpose m =
+let cols_index m =
   let counts = column_counts m in
   let out = Array.map (fun c -> Array.make c 0) counts in
   let fill = Array.make m.ncols 0 in
@@ -146,7 +146,9 @@ let transpose m =
         r)
     m.data;
   (* rows were scanned in increasing i, so each out.(j) is already sorted *)
-  { nrows = m.ncols; ncols = m.nrows; data = out }
+  out
+
+let transpose m = { nrows = m.ncols; ncols = m.nrows; data = cols_index m }
 
 let normal_matrix ?jobs m =
   let nc = m.ncols in

@@ -59,6 +59,14 @@ val select_cols : t -> int array -> t
 
 val transpose : t -> t
 
+val cols_index : t -> row array
+(** CSC-style column index, built in one O(nnz) pass: entry [j] is the
+    strictly increasing array of the rows whose support contains column
+    [j] (exactly the rows of {!transpose}). Lets a consumer scatter a
+    column densely in O(nnz of the column) instead of probing all rows
+    with {!get} — the [Core.Rank_reduction] sweep builds it once per
+    scan. Entries are fresh arrays the caller may keep. *)
+
 val normal_matrix : ?jobs:int -> t -> Matrix.t
 (** [normal_matrix a] is the dense Gram matrix [aᵀ a], assembled row by row
     in O(nnz per row squared). Row blocks are scattered in parallel over
