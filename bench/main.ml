@@ -18,6 +18,7 @@ let experiments =
     ("timing", Timing.run);
     ("timing-sweep", Timing.run_sweep);
     ("timing-smoke", Timing.run_smoke);
+    ("obs-smoke", Timing.run_obs_smoke);
     ("ablations", Ablations.run);
     ("delay", Ext_delay.run);
     ("baselines", Baselines.run);

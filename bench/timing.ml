@@ -127,12 +127,14 @@ let run () =
    later PRs have a perf trajectory to compare against. The kernels are
    bit-for-bit jobs-invariant, so only time varies. *)
 
+(* the bench shares lib/obs's clock, so wall-clock numbers here and
+   histogram observations in the metrics registry come from one source *)
 let time_best ~reps f =
   let best = ref infinity in
   for _ = 1 to reps do
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now_ns () in
     f ();
-    best := Float.min !best (Unix.gettimeofday () -. t0)
+    best := Float.min !best (Obs.Clock.seconds_since t0)
   done;
   !best
 
@@ -156,7 +158,20 @@ let plan_stats ~jobs_list ~reps ~r ~variances ~ys =
   let m = Linalg.Matrix.rows ys in
   let t_build = time_best ~reps (fun () -> ignore (Core.Plan.make ~r ~variances ())) in
   let plan = Core.Plan.make ~r ~variances () in
+  (* the timed batch runs with the metrics registry enabled and the
+     per-snapshot figure is read back from its histogram, so the JSON and
+     an operator's --metrics dump can never disagree about this number *)
+  let reg = Obs.Metrics.default in
+  let h_solve = Obs.Metrics.histogram reg "plan_solve_snapshot_seconds" in
+  Obs.Metrics.reset reg;
+  Obs.Metrics.enable reg;
   let t_batch = time_best ~reps (fun () -> ignore (Core.Plan.solve_batch plan ys)) in
+  Obs.Metrics.disable reg;
+  let solve_per_snapshot_s =
+    Obs.Metrics.histogram_sum h_solve
+    /. float_of_int (max 1 (Obs.Metrics.histogram_count h_solve))
+  in
+  Obs.Metrics.reset reg;
   let t_indep =
     time_best ~reps:1 (fun () ->
         for l = 0 to m - 1 do
@@ -183,7 +198,31 @@ let plan_stats ~jobs_list ~reps ~r ~variances ~ys =
                  jobs l))
         got)
     jobs_list;
-  (t_build, t_batch, t_indep)
+  (t_build, t_batch, t_indep, solve_per_snapshot_s)
+
+(* Tentpole acceptance: probes compiled into the kernels must be ~free
+   when the registry is disabled and cheap when fully enabled (metrics on,
+   trace streaming to a sink). Measured on the sweep's largest overlay;
+   target < 2% enabled-vs-disabled. *)
+let obs_overhead ~reps ~r ~y_learn =
+  let reg = Obs.Metrics.default in
+  let kernel () =
+    ignore (Core.Variance_estimator.estimate_streaming ~r ~y:y_learn ())
+  in
+  Obs.Metrics.disable reg;
+  kernel ();
+  let t_off = time_best ~reps kernel in
+  Obs.Metrics.reset reg;
+  Obs.Metrics.enable reg;
+  Obs.Trace.set_sink Obs.Trace.default (Some (Obs.Sink.file Filename.null));
+  (* one warm-up run per configuration so one-time costs (first span's
+     formatting path, sink buffers) don't masquerade as per-call overhead *)
+  kernel ();
+  let t_on = time_best ~reps kernel in
+  Obs.Trace.close Obs.Trace.default;
+  Obs.Metrics.disable reg;
+  Obs.Metrics.reset reg;
+  (t_off, t_on)
 
 let sweep ~out ~jobs_list ~reps ~snapshots ~plan_snapshots ~hosts_list () =
   Exp_common.header "multicore jobs sweep (PlanetLab-like overlays)";
@@ -194,6 +233,7 @@ let sweep ~out ~jobs_list ~reps ~snapshots ~plan_snapshots ~hosts_list () =
     (fun jobs -> if jobs > 1 then ignore (Parallel.Pool.get ~jobs))
     jobs_list;
   let buf = Buffer.create 4096 in
+  let obs_json = ref "" in
   Buffer.add_string buf "{\n";
   Printf.bprintf buf "  \"bench\": \"lia-parallel-kernels\",\n";
   Printf.bprintf buf
@@ -257,7 +297,7 @@ let sweep ~out ~jobs_list ~reps ~snapshots ~plan_snapshots ~hosts_list () =
            ~count:plan_snapshots)
           .Netsim.Simulator.y
       in
-      let t_build, t_batch, t_indep =
+      let t_build, t_batch, t_indep, solve_s =
         plan_stats ~jobs_list ~reps ~r ~variances ~ys
       in
       let t_plan = t_build +. t_batch in
@@ -269,9 +309,8 @@ let sweep ~out ~jobs_list ~reps ~snapshots ~plan_snapshots ~hosts_list () =
         "plan: build %.2f ms + %d solves at %.1f us each = %.2f ms; %d \
          per-call infers = %.2f ms (%.1fx, bit-identical outputs for jobs in \
          {%s})"
-        (1e3 *. t_build) plan_snapshots
-        (1e6 *. t_batch /. float_of_int plan_snapshots)
-        (1e3 *. t_plan) plan_snapshots (1e3 *. t_indep) speedup
+        (1e3 *. t_build) plan_snapshots (1e6 *. solve_s) (1e3 *. t_plan)
+        plan_snapshots (1e3 *. t_indep) speedup
         (String.concat ", " (List.map string_of_int jobs_list));
       Printf.bprintf buf
         "      \"plan\": {\n\
@@ -282,11 +321,34 @@ let sweep ~out ~jobs_list ~reps ~snapshots ~plan_snapshots ~hosts_list () =
         \        \"independent_infer_ms\": %.4f,\n\
         \        \"amortized_speedup_vs_infer\": %.2f\n\
         \      }\n    }"
-        plan_snapshots (1e3 *. t_build)
-        (1e6 *. t_batch /. float_of_int plan_snapshots)
-        (1e3 *. t_plan) (1e3 *. t_indep) speedup)
+        plan_snapshots (1e3 *. t_build) (1e6 *. solve_s) (1e3 *. t_plan)
+        (1e3 *. t_indep) speedup;
+      (* instrumentation overhead, measured once on the largest overlay *)
+      if ti = List.length hosts_list - 1 then begin
+        let t_off, t_on = obs_overhead ~reps ~r ~y_learn in
+        let pct = 100. *. (t_on -. t_off) /. t_off in
+        Exp_common.note
+          "obs overhead (estimate_streaming, %d hosts): disabled %.4f s, \
+           enabled %.4f s (%+.2f%%, target < 2%%)"
+          hosts t_off t_on pct;
+        obs_json :=
+          Printf.sprintf
+            "  \"obs_overhead\": {\n\
+            \    \"kernel\": \"estimate_streaming\",\n\
+            \    \"hosts\": %d,\n\
+            \    \"reps\": %d,\n\
+            \    \"disabled_seconds\": %.6f,\n\
+            \    \"enabled_seconds\": %.6f,\n\
+            \    \"overhead_pct\": %.3f,\n\
+            \    \"target_pct\": 2.0\n\
+            \  },\n"
+            hosts reps t_off t_on pct
+      end)
     hosts_list;
-  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf !obs_json;
+  Printf.bprintf buf "  \"solve_per_snapshot_source\": \"%s\"\n}\n"
+    "plan_solve_snapshot_seconds histogram (metrics registry)";
   let oc = open_out out in
   Buffer.output_buffer oc buf;
   close_out oc;
@@ -301,3 +363,76 @@ let run_sweep () =
 let run_smoke () =
   sweep ~out:"bench_smoke.json" ~jobs_list:[ 1; 2 ] ~reps:1 ~snapshots:8
     ~plan_snapshots:10 ~hosts_list:[ 6 ] ()
+
+(* end-to-end telemetry smoke: run the pipeline on a small overlay with the
+   registry enabled, the tracer writing to a scratch file, and the logger on
+   a memory sink, then assert the expected probes actually fired. Wired into
+   the [obs-smoke] dune alias so the probe inventory cannot silently rot. *)
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let run_obs_smoke () =
+  Exp_common.header "telemetry smoke (probes fire end to end)";
+  let reg = Obs.Metrics.default in
+  Obs.Metrics.reset reg;
+  Obs.Metrics.enable reg;
+  let trace_file = Filename.temp_file "obs_smoke" ".jsonl" in
+  Obs.Trace.set_sink Obs.Trace.default (Some (Obs.Sink.file trace_file));
+  let log_sink, log_lines = Obs.Sink.memory () in
+  Obs.Logger.set_sink Obs.Logger.default (Some log_sink);
+  Obs.Logger.set_level Obs.Logger.default (Some Obs.Logger.Info);
+  let rng = Nstats.Rng.create 1207 in
+  let tb = Topology.Overlay.planetlab_like rng ~hosts:8 () in
+  let red = Topology.Testbed.routing tb in
+  let r = red.Topology.Routing.matrix in
+  let config =
+    Netsim.Snapshot.default_config Lossmodel.Loss_model.llrd1_calibrated
+  in
+  let run = Netsim.Simulator.run rng config r ~count:21 in
+  let y_learn, target = Netsim.Simulator.split_learning run ~learning:20 in
+  let variances = Core.Variance_estimator.estimate_streaming ~r ~y:y_learn () in
+  let plan = Core.Plan.make ~r ~variances () in
+  ignore (Core.Plan.solve plan target.Netsim.Snapshot.y);
+  Obs.Logger.info Obs.Logger.default "obs smoke pipeline done"
+    ~fields:[ ("hosts", Obs.Field.Int 8) ];
+  Obs.Logger.set_level Obs.Logger.default None;
+  Obs.Logger.set_sink Obs.Logger.default None;
+  Obs.Trace.close Obs.Trace.default;
+  Obs.Metrics.disable reg;
+  let dump = Obs.Metrics.dump reg in
+  let expect_metric name =
+    let h = Obs.Metrics.histogram reg name in
+    if Obs.Metrics.histogram_count h = 0 then
+      failwith (Printf.sprintf "obs-smoke: no observations in %s" name);
+    if not (contains ~needle:(name ^ "_count") dump) then
+      failwith (Printf.sprintf "obs-smoke: %s missing from dump" name)
+  in
+  List.iter expect_metric
+    [
+      "lia_phase1_kernel_seconds";
+      "plan_build_seconds";
+      "plan_solve_snapshot_seconds";
+    ];
+  let pairs = Obs.Metrics.counter reg "lia_pairs_total" in
+  if Obs.Metrics.counter_value pairs = 0 then
+    failwith "obs-smoke: lia_pairs_total never incremented";
+  let ic = open_in trace_file in
+  let n_lines = ref 0 and first = ref "" in
+  (try
+     while true do
+       let l = input_line ic in
+       if !n_lines = 0 then first := l;
+       incr n_lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove trace_file;
+  if !first <> "[" then failwith "obs-smoke: trace does not open with [";
+  if !n_lines < 4 then failwith "obs-smoke: too few trace events";
+  if List.length (log_lines ()) < 1 then failwith "obs-smoke: no log lines";
+  Obs.Metrics.reset reg;
+  Exp_common.row "%-28s %s" "metric names in dump"
+    (string_of_int (List.length (Obs.Metrics.names reg)));
+  Exp_common.row "%-28s %d" "trace event lines" (!n_lines - 1);
+  Exp_common.note "registry, tracer, and logger sinks all live; probes fired"

@@ -44,6 +44,80 @@ let jobs_arg =
            bit-for-bit identical for every value; $(b,--jobs 1) disables the \
            pool.")
 
+(* --- telemetry (lib/obs) ---------------------------------------------- *)
+
+type obs_config = {
+  trace : string option;
+  metrics : string option;
+  log_level : Obs.Logger.level option;
+}
+
+let obs_term =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write Chrome trace-event JSONL (pool-worker, kernel, and \
+             plan-solve spans) to $(i,FILE); load it in chrome://tracing or \
+             ui.perfetto.dev.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Enable the metrics registry and write a Prometheus-style text \
+             dump (pool queue-wait, phase-1 kernel, and per-snapshot solve \
+             histograms, plus counters and gauges) to $(i,FILE) on exit.")
+  in
+  let log_level =
+    let level_conv =
+      let parse s =
+        match Obs.Logger.level_of_string s with
+        | Ok l -> Ok l
+        | Error msg -> Error (`Msg msg)
+      in
+      let print ppf = function
+        | None -> Format.pp_print_string ppf "off"
+        | Some l -> Format.pp_print_string ppf (Obs.Logger.level_name l)
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt level_conv None
+      & info [ "log-level" ] ~docv:"LVL"
+          ~doc:
+            "Structured-log verbosity on stderr: $(b,off) (default), \
+             $(b,error), $(b,warn), $(b,info), or $(b,debug).")
+  in
+  Term.(
+    const (fun trace metrics log_level -> { trace; metrics; log_level })
+    $ trace $ metrics $ log_level)
+
+(* Install the requested sinks, run, and dump/close on the way out (also
+   on failure, so a crashed serving run still leaves its telemetry). *)
+let with_obs cfg f =
+  Obs.Logger.set_level Obs.Logger.default cfg.log_level;
+  Option.iter
+    (fun path -> Obs.Trace.set_sink Obs.Trace.default (Some (Obs.Sink.file path)))
+    cfg.trace;
+  if cfg.metrics <> None then Obs.Metrics.enable Obs.Metrics.default;
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Obs.Metrics.dump Obs.Metrics.default);
+          close_out oc;
+          Obs.Metrics.disable Obs.Metrics.default)
+        cfg.metrics;
+      Obs.Trace.close Obs.Trace.default)
+    f
+
 let model_conv =
   let parse = function
     | "llrd1" -> Ok Lossmodel.Loss_model.llrd1
@@ -235,10 +309,19 @@ let infer_cmd =
              solve each snapshot row of $(i,FILE) through it (one line per \
              snapshot instead of the full link table).")
   in
-  let run testbed measurements snapshots threshold top jobs =
+  let run testbed measurements snapshots threshold top jobs obs_cfg =
+    with_obs obs_cfg @@ fun () ->
+    let log = Obs.Logger.default in
     let tb = Topology.Serial.load testbed in
     let red = routing_of_testbed tb in
     let r = red.Topology.Routing.matrix in
+    Obs.Logger.info log "loaded testbed"
+      ~fields:
+        [
+          ("file", Obs.Field.Str testbed);
+          ("paths", Obs.Field.Int (Sparse.rows r));
+          ("links", Obs.Field.Int (Sparse.cols r));
+        ];
     let y = Netsim.Trace_io.load measurements in
     if Matrix.cols y <> Sparse.rows r then
       failwith "measurement width does not match the testbed's path count";
@@ -261,11 +344,21 @@ let infer_cmd =
         if Matrix.rows y < 2 then
           failwith "need at least 2 learning snapshots to learn variances";
         let variances = Core.Variance_estimator.estimate ~jobs ~r ~y () in
+        Obs.Logger.info log "learned variances"
+          ~fields:[ ("snapshots", Obs.Field.Int (Matrix.rows y)) ];
         let plan = Core.Lia.Plan.make ~jobs ~r ~variances () in
+        Obs.Logger.info log "built inference plan"
+          ~fields:
+            [
+              ("rank", Obs.Field.Int (Core.Plan.rank plan));
+              ("deleted", Obs.Field.Int (Sparse.cols r - Core.Plan.rank plan));
+            ];
         let ys = Netsim.Trace_io.load file in
         if Matrix.cols ys <> Sparse.rows r then
           failwith "snapshot width does not match the testbed's path count";
         let results = Core.Lia.Plan.solve_batch ~jobs plan ys in
+        Obs.Logger.info log "served snapshot batch"
+          ~fields:[ ("snapshots", Obs.Field.Int (Array.length results)) ];
         Printf.printf "learned variances from %d snapshots\n" (Matrix.rows y);
         Printf.printf "plan: kept %d columns, eliminated %d; serving %d snapshots\n"
           (Core.Plan.rank plan)
@@ -287,7 +380,7 @@ let infer_cmd =
   let term =
     Term.(
       const run $ testbed_arg $ measurements_arg $ snapshots_arg $ threshold $ top
-      $ jobs_arg)
+      $ jobs_arg $ obs_term)
   in
   Cmd.v
     (Cmd.info "infer"

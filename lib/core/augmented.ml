@@ -15,10 +15,19 @@ let row_pair ~np k =
   in
   find 0 k
 
+let m_build =
+  Obs.Metrics.histogram Obs.Metrics.default
+    ~help:"Seconds per augmented-matrix assembly (Definition 1)"
+    "lia_augmented_build_seconds"
+
 let build ?jobs r =
   let np = Sparse.rows r in
   let nc = Sparse.cols r in
   let total = row_count ~np in
+  Obs.Probe.kernel ~hist:m_build
+    ~args:[ ("np", Obs.Field.Int np); ("rows", Obs.Field.Int total) ]
+    "augmented.build"
+  @@ fun () ->
   let rows = Array.make total [||] in
   (* each augmented row is written by exactly one block, so the result is
      independent of the jobs value *)

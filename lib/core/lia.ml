@@ -16,6 +16,15 @@ let infer_with_variances ~r ~variances ~y_now =
 let infer ?estimator ?jobs ~r ~y_learn ~y_now () =
   if Matrix.cols y_learn <> Sparse.rows r then
     invalid_arg "Lia: learning matrix width mismatch";
+  Obs.Trace.with_span
+    ~args:
+      [
+        ("paths", Obs.Field.Int (Sparse.rows r));
+        ("links", Obs.Field.Int (Sparse.cols r));
+        ("m", Obs.Field.Int (Matrix.rows y_learn));
+      ]
+    Obs.Trace.default "lia.infer"
+  @@ fun () ->
   let variances =
     Variance_estimator.estimate ?options:estimator ?jobs ~r ~y:y_learn ()
   in

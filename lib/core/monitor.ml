@@ -1,6 +1,30 @@
 module Sparse = Linalg.Sparse
 module Matrix = Linalg.Matrix
 
+let m_observations =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"Snapshots pushed into monitor windows" "monitor_observations_total"
+
+let m_evictions =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"Snapshots evicted from full monitor windows (window churn)"
+    "monitor_evictions_total"
+
+let m_invalidations =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"Cached variance vectors invalidated by new observations"
+    "monitor_cache_invalidations_total"
+
+let m_relearns =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"Variance re-estimations over the monitor window"
+    "monitor_variance_relearns_total"
+
+let g_window_fill =
+  Obs.Metrics.gauge Obs.Metrics.default
+    ~help:"Snapshots currently buffered by the most recent monitor"
+    "monitor_window_fill"
+
 type t = {
   r : Sparse.t;
   window : int;
@@ -15,8 +39,17 @@ let create ~r ~window =
 let observe t y =
   if Array.length y <> Sparse.rows t.r then
     invalid_arg "Monitor.observe: measurement length mismatch";
+  Obs.Metrics.incr m_observations;
   Queue.add (Array.copy y) t.buffer;
-  if Queue.length t.buffer > t.window then ignore (Queue.pop t.buffer);
+  if Queue.length t.buffer > t.window then begin
+    ignore (Queue.pop t.buffer);
+    Obs.Metrics.incr m_evictions
+  end;
+  if t.cached_variances <> None then begin
+    Obs.Metrics.incr m_invalidations;
+    Obs.Trace.instant Obs.Trace.default "monitor.invalidate"
+  end;
+  Obs.Metrics.set g_window_fill (float_of_int (Queue.length t.buffer));
   t.cached_variances <- None
 
 let size t = Queue.length t.buffer
@@ -39,6 +72,11 @@ let variances t =
   | Some v -> v
   | None ->
       if size t < 2 then failwith "Monitor.variances: fewer than 2 snapshots";
+      Obs.Metrics.incr m_relearns;
+      Obs.Trace.with_span
+        ~args:[ ("window", Obs.Field.Int (size t)) ]
+        Obs.Trace.default "monitor.relearn"
+      @@ fun () ->
       let v = Variance_estimator.estimate_streaming ~r:t.r ~y:(window_matrix t) () in
       t.cached_variances <- Some v;
       v

@@ -19,13 +19,39 @@ type t = {
   fact : Qr.t;
 }
 
+let m_build =
+  Obs.Metrics.histogram Obs.Metrics.default
+    ~help:"Seconds per inference-plan build (rank reduction + QR)"
+    "plan_build_seconds"
+
+let m_solve =
+  Obs.Metrics.histogram Obs.Metrics.default
+    ~help:"Seconds per snapshot solved through a plan (batch solves \
+           contribute their per-snapshot average)"
+    "plan_solve_snapshot_seconds"
+
+let g_rank =
+  Obs.Metrics.gauge Obs.Metrics.default
+    ~help:"Columns kept by the most recent plan build" "plan_rank"
+
+let g_deleted =
+  Obs.Metrics.gauge Obs.Metrics.default
+    ~help:"Columns eliminated by the most recent plan build"
+    "plan_deleted_columns"
+
 let make ?jobs ~r ~variances () =
   let nc = Sparse.cols r and np = Sparse.rows r in
   if Array.length variances <> nc then
     invalid_arg "Lia: variance length mismatch";
+  Obs.Probe.kernel ~hist:m_build
+    ~args:[ ("np", Obs.Field.Int np); ("nc", Obs.Field.Int nc) ]
+    "plan.build"
+  @@ fun () ->
   let { Rank_reduction.kept; removed } = Rank_reduction.eliminate r variances in
   let r_star = Sparse.dense_cols r kept in
   let fact = Qr.factorize ?jobs r_star in
+  Obs.Metrics.set g_rank (float_of_int (Array.length kept));
+  Obs.Metrics.set g_deleted (float_of_int (Array.length removed));
   { np; nc; variances = Array.copy variances; kept; removed; fact }
 
 let paths p = p.np
@@ -58,11 +84,29 @@ let result_of_x p x_star =
 
 let solve p y_now =
   if Array.length y_now <> p.np then invalid_arg "Lia: measurement length mismatch";
+  Obs.Probe.kernel ~hist:m_solve "plan.solve" @@ fun () ->
   result_of_x p (Qr.least_squares p.fact y_now)
 
 let solve_batch ?jobs p y =
   if Matrix.cols y <> p.np then invalid_arg "Lia: measurement length mismatch";
+  let snapshots = Matrix.rows y in
+  Obs.Trace.with_span
+    ~args:[ ("snapshots", Obs.Field.Int snapshots) ]
+    Obs.Trace.default "plan.solve_batch"
+  @@ fun () ->
+  let t0 =
+    if Obs.Metrics.enabled Obs.Metrics.default then Obs.Clock.now_ns () else 0L
+  in
   (* one RHS per column: reflectors then sweep all snapshots per pass *)
   let b = Matrix.transpose y in
   let x = Qr.least_squares_batch ?jobs p.fact b in
-  Array.init (Matrix.rows y) (fun l -> result_of_x p (Matrix.col x l))
+  let out = Array.init snapshots (fun l -> result_of_x p (Matrix.col x l)) in
+  if Obs.Metrics.enabled Obs.Metrics.default && snapshots > 0 then begin
+    (* the blocked kernel solves all snapshots in one pass; attribute the
+       per-snapshot average to each so the histogram stays per-snapshot *)
+    let per = Obs.Clock.seconds_since t0 /. float_of_int snapshots in
+    for _ = 1 to snapshots do
+      Obs.Metrics.observe m_solve per
+    done
+  end;
+  out

@@ -1,6 +1,15 @@
 module Sparse = Linalg.Sparse
 module Qr = Linalg.Qr
 
+let m_phase1 =
+  Obs.Metrics.histogram Obs.Metrics.default
+    ~help:"Seconds per phase-1 variance-estimation kernel run"
+    "lia_phase1_kernel_seconds"
+
+let m_pairs =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"Path pairs swept by the phase-1 kernels" "lia_pairs_total"
+
 type method_ = Normal_equations | Dense_qr
 
 type options = { method_ : method_; drop_negative : bool; clamp : bool }
@@ -34,6 +43,12 @@ let estimate_streaming ?jobs ?(drop_negative = true) ?(clamp = true) ~r ~y () =
     invalid_arg "Variance_estimator.estimate_streaming: width mismatch";
   if m < 2 then
     invalid_arg "Variance_estimator.estimate_streaming: need at least 2 snapshots";
+  Obs.Metrics.add m_pairs (np * (np + 1) / 2);
+  Obs.Probe.kernel ~hist:m_phase1
+    ~args:
+      [ ("np", Obs.Field.Int np); ("nc", Obs.Field.Int nc); ("m", Obs.Field.Int m) ]
+    "variance_estimator.estimate_streaming"
+  @@ fun () ->
   (* centered measurement columns, one array per path, for cheap pair
      covariances *)
   let centered = Array.make np [||] in

@@ -13,29 +13,52 @@ let to_string y =
   done;
   Buffer.contents b
 
-let of_string s =
+(* Parse failures carry the source name and 1-based line number so the
+   CLI can turn a ragged file into a one-line diagnostic instead of a
+   backtrace. Blank and [#]-comment lines are skipped but still counted. *)
+let of_string ?(path = "<string>") s =
+  let fail_line n fmt =
+    Printf.ksprintf (fun msg -> failwith (Printf.sprintf "%s:%d: %s" path n msg)) fmt
+  in
   let lines =
     String.split_on_char '\n' s
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
   in
   match lines with
-  | [] -> failwith "empty measurement file"
-  | header :: rows -> (
+  | [] -> failwith (Printf.sprintf "%s: empty measurement file" path)
+  | (hline, header) :: rows -> (
       match String.split_on_char ' ' header |> List.filter (fun w -> w <> "") with
       | [ "netloss-measurements"; "1"; m; np ] ->
-          let m = int_of_string m and np = int_of_string np in
-          if List.length rows <> m then failwith "row count mismatch";
-          let parse_row line =
+          let parse_int what s =
+            match int_of_string_opt s with
+            | Some v when v >= 0 -> v
+            | _ -> fail_line hline "bad %s %S in header" what s
+          in
+          let m = parse_int "snapshot count" m
+          and np = parse_int "path count" np in
+          if List.length rows <> m then
+            fail_line hline "header promises %d snapshot rows, file has %d" m
+              (List.length rows);
+          let parse_row (n, line) =
             let cells =
               String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
             in
-            if List.length cells <> np then failwith "column count mismatch";
-            Array.of_list (List.map float_of_string cells)
+            let got = List.length cells in
+            if got <> np then fail_line n "expected %d columns, got %d" np got;
+            Array.of_list
+              (List.map
+                 (fun w ->
+                   match float_of_string_opt w with
+                   | Some x -> x
+                   | None -> fail_line n "bad measurement %S" w)
+                 cells)
           in
           let data = Array.of_list (List.map parse_row rows) in
           Matrix.init m np (fun l i -> data.(l).(i))
-      | _ -> failwith "missing netloss-measurements header")
+      | _ ->
+          fail_line hline
+            "missing \"netloss-measurements 1 <snapshots> <paths>\" header")
 
 let save path y =
   let dir = Filename.dirname path in
@@ -53,4 +76,4 @@ let load path =
   let n = in_channel_length ic in
   let s = really_input_string ic n in
   close_in ic;
-  of_string s
+  of_string ~path s

@@ -12,9 +12,15 @@
 
 val to_string : Linalg.Matrix.t -> string
 
-val of_string : string -> Linalg.Matrix.t
-(** Raises [Failure] on malformed input or row-count mismatches. *)
+val of_string : ?path:string -> string -> Linalg.Matrix.t
+(** Raises [Failure] on malformed input with a one-line
+    ["<path>:<line>: ..."] diagnostic (bad header, ragged row with the
+    expected width, unparsable number, row-count mismatch). [path] names
+    the source in the message; default ["<string>"]. Line numbers refer
+    to the original text, counting skipped blank/comment lines. *)
 
 val save : string -> Linalg.Matrix.t -> unit
 
 val load : string -> Linalg.Matrix.t
+(** {!of_string} on the file's contents, with [~path] set to the file
+    name. *)

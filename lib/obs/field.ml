@@ -1,0 +1,48 @@
+type t = Str of string | Int of int | Float of float | Bool of bool
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_string s = "\"" ^ escape s ^ "\""
+
+let json_float x =
+  (* JSON has no inf/nan literals *)
+  if Float.is_finite x then Printf.sprintf "%.12g" x else "null"
+
+let to_json = function
+  | Str s -> json_string s
+  | Int i -> string_of_int i
+  | Float x -> json_float x
+  | Bool b -> if b then "true" else "false"
+
+let to_text = function
+  | Str s -> s
+  | Int i -> string_of_int i
+  | Float x -> Printf.sprintf "%g" x
+  | Bool b -> string_of_bool b
+
+let assoc_json fields =
+  let b = Buffer.create 64 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (json_string k);
+      Buffer.add_string b ": ";
+      Buffer.add_string b (to_json v))
+    fields;
+  Buffer.add_char b '}';
+  Buffer.contents b

@@ -1,0 +1,2 @@
+let kernel ?(args = []) ~hist name f =
+  Trace.with_span ~args Trace.default name (fun () -> Metrics.time hist f)

@@ -1,0 +1,49 @@
+(* A sink serializes whole lines; the mutex makes concurrent writers from
+   pool domains safe without each producer carrying its own lock. *)
+
+type t = {
+  mutex : Mutex.t;
+  write_line : string -> unit;
+  do_flush : unit -> unit;
+  do_close : unit -> unit;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let write t line = locked t (fun () -> t.write_line line)
+
+let flush t = locked t (fun () -> t.do_flush ())
+
+let close t =
+  locked t (fun () ->
+      t.do_flush ();
+      t.do_close ())
+
+let of_channel ?(close_channel = true) oc =
+  {
+    mutex = Mutex.create ();
+    write_line =
+      (fun line ->
+        output_string oc line;
+        output_char oc '\n');
+    do_flush = (fun () -> Stdlib.flush oc);
+    do_close = (fun () -> if close_channel then close_out_noerr oc);
+  }
+
+let file path = of_channel (open_out path)
+
+let stderr_lines () = of_channel ~close_channel:false Stdlib.stderr
+
+let memory () =
+  let lines = ref [] in
+  let sink =
+    {
+      mutex = Mutex.create ();
+      write_line = (fun line -> lines := line :: !lines);
+      do_flush = (fun () -> ());
+      do_close = (fun () -> ());
+    }
+  in
+  (sink, fun () -> List.rev !lines)

@@ -1,0 +1,64 @@
+(* Chrome trace-event spans, one JSON object per line.
+
+   The output is the Chrome/Perfetto "JSON array format" written
+   incrementally: the first line is "[", every event line is a complete
+   JSON object followed by a comma, and the closing "]" is omitted — the
+   loaders accept the unterminated form, which lets us append from
+   several domains and survive a killed process. Spans are "X" (complete)
+   events carrying ts/dur in microseconds; nesting is reconstructed by
+   the viewer from containment of [ts, ts+dur) ranges within one tid, and
+   tid is the raising domain's id, so pool-worker spans land on their own
+   rows. *)
+
+type t = { mutable sink : Sink.t option }
+
+let default = { sink = None }
+
+let create () = { sink = None }
+
+let enabled t = t.sink <> None
+
+let set_sink t sink =
+  (match t.sink with Some old -> Sink.close old | None -> ());
+  t.sink <- sink;
+  match sink with Some s -> Sink.write s "[" | None -> ()
+
+let close t = set_sink t None
+
+let flush t = match t.sink with Some s -> Sink.flush s | None -> ()
+
+let emit t ~name ~ph ~ts_us ~dur_us ~args =
+  match t.sink with
+  | None -> ()
+  | Some sink ->
+      let b = Buffer.create 160 in
+      Printf.bprintf b
+        "{\"name\": %s, \"cat\": \"lia\", \"ph\": \"%c\", \"ts\": %Ld, \"pid\": 0, \
+         \"tid\": %d"
+        (Field.json_string name) ph ts_us
+        (Domain.self () :> int);
+      (match dur_us with
+      | Some d -> Printf.bprintf b ", \"dur\": %Ld" d
+      | None -> ());
+      if args <> [] then
+        Printf.bprintf b ", \"args\": %s" (Field.assoc_json args);
+      Buffer.add_string b "},";
+      Sink.write sink (Buffer.contents b)
+
+let instant ?(args = []) t name =
+  if enabled t then
+    emit t ~name ~ph:'i' ~ts_us:(Clock.now_us ()) ~dur_us:None ~args
+
+let with_span ?(args = []) t name f =
+  match t.sink with
+  | None -> f ()
+  | Some _ ->
+      let t0 = Clock.now_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          let t1 = Clock.now_ns () in
+          emit t ~name ~ph:'X'
+            ~ts_us:(Int64.div t0 1_000L)
+            ~dur_us:(Some (Int64.div (Int64.sub t1 t0) 1_000L))
+            ~args)
+        f

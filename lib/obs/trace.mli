@@ -1,0 +1,40 @@
+(** Nestable spans emitted as Chrome trace-event JSONL.
+
+    Each event is one JSON object on its own line ("X" complete events
+    with [ts]/[dur] in microseconds from {!Clock}); the stream opens with
+    a ["["] line and omits the closing bracket, which chrome://tracing
+    and ui.perfetto.dev both accept and which keeps the file valid after
+    a crash. Span nesting needs no bookkeeping: the viewer reconstructs
+    it from time-range containment per [tid], and [tid] is the emitting
+    domain's id — spans raised inside pool workers therefore appear on
+    the worker's own row.
+
+    A tracer with no sink is disabled: {!with_span} costs one branch and
+    runs the thunk directly. *)
+
+type t
+
+val default : t
+(** The process-wide tracer the library's built-in spans target. Starts
+    with no sink (disabled). *)
+
+val create : unit -> t
+
+val enabled : t -> bool
+
+val set_sink : t -> Sink.t option -> unit
+(** Install (or remove, with [None]) the output sink; any previous sink
+    is closed, and a fresh sink immediately receives the opening ["["]
+    line. *)
+
+val with_span : ?args:(string * Field.t) list -> t -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] runs [f] and emits a complete event covering its
+    execution, including when [f] raises. Disabled: exactly [f ()]. *)
+
+val instant : ?args:(string * Field.t) list -> t -> string -> unit
+(** A zero-duration instant event (window churn, invalidations). *)
+
+val flush : t -> unit
+
+val close : t -> unit
+(** Close and detach the sink; the tracer becomes disabled. *)

@@ -1,5 +1,44 @@
 let default_jobs () = min (Domain.recommended_domain_count ()) 8
 
+(* process-wide telemetry, against the default (initially disabled)
+   registry; a disabled probe is one branch, see Obs.Metrics *)
+let m_tasks =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"Pool tasks executed (one per scheduled block)" "pool_tasks_total"
+
+let m_blocks =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"Blocks submitted to the pool queue" "pool_blocks_scheduled_total"
+
+let m_seq_fallbacks =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"Parallel sections run sequentially (jobs=1, single block, or nested)"
+    "pool_sequential_fallbacks_total"
+
+let m_nested_fallbacks =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"Sequential fallbacks taken because the caller was already a pool task"
+    "pool_nested_fallbacks_total"
+
+let m_queue_wait =
+  Obs.Metrics.histogram Obs.Metrics.default
+    ~help:"Seconds between block enqueue and execution start"
+    "pool_queue_wait_seconds"
+
+let m_busy_ns =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"Nanoseconds pool workers spent executing tasks" "pool_worker_busy_ns_total"
+
+let m_idle_ns =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"Nanoseconds pool workers spent waiting for work" "pool_worker_idle_ns_total"
+
+type stats = {
+  tasks_run : int;
+  blocks_scheduled : int;
+  sequential_fallbacks : int;
+}
+
 type t = {
   jobs : int;
   mutex : Mutex.t;
@@ -7,7 +46,17 @@ type t = {
   queue : (unit -> unit) Queue.t;
   mutable workers : unit Domain.t list;
   mutable stopping : bool;
+  tasks_run : int Atomic.t;
+  blocks_scheduled : int Atomic.t;
+  seq_fallbacks : int Atomic.t;
 }
+
+let stats pool =
+  {
+    tasks_run = Atomic.get pool.tasks_run;
+    blocks_scheduled = Atomic.get pool.blocks_scheduled;
+    sequential_fallbacks = Atomic.get pool.seq_fallbacks;
+  }
 
 (* set while a pool task runs, so nested parallel sections degrade to
    sequential execution instead of deadlocking the pool *)
@@ -16,6 +65,10 @@ let in_task_key = Domain.DLS.new_key (fun () -> false)
 let in_task () = Domain.DLS.get in_task_key
 
 let rec worker_loop pool =
+  (* busy/idle accounting only touches the clock when the registry is
+     enabled; the disabled path is branch-free apart from [obs] itself *)
+  let obs = Obs.Metrics.enabled Obs.Metrics.default in
+  let t_wait = if obs then Obs.Clock.now_ns () else 0L in
   Mutex.lock pool.mutex;
   let rec next () =
     match Queue.take_opt pool.queue with
@@ -32,7 +85,14 @@ let rec worker_loop pool =
   match task with
   | None -> ()
   | Some task ->
-      task ();
+      if obs then begin
+        let t_run = Obs.Clock.now_ns () in
+        Obs.Metrics.add m_idle_ns (Int64.to_int (Int64.sub t_run t_wait));
+        task ();
+        Obs.Metrics.add m_busy_ns
+          (Int64.to_int (Int64.sub (Obs.Clock.now_ns ()) t_run))
+      end
+      else task ();
       worker_loop pool
 
 let create ~jobs =
@@ -45,6 +105,9 @@ let create ~jobs =
       queue = Queue.create ();
       workers = [];
       stopping = false;
+      tasks_run = Atomic.make 0;
+      blocks_scheduled = Atomic.make 0;
+      seq_fallbacks = Atomic.make 0;
     }
   in
   pool.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
@@ -86,9 +149,27 @@ let run_blocks pool n f =
   let fin_mutex = Mutex.create () in
   let fin_cond = Condition.create () in
   let exns = Array.make n None in
+  Atomic.fetch_and_add pool.blocks_scheduled n |> ignore;
+  Obs.Metrics.add m_blocks n;
+  (* one reading at submission serves every block's queue-wait probe *)
+  let t_enqueue =
+    if Obs.Metrics.enabled Obs.Metrics.default then Obs.Clock.now_ns () else 0L
+  in
+  let tracing = Obs.Trace.enabled Obs.Trace.default in
   let task b () =
     Domain.DLS.set in_task_key true;
-    (try f b with e -> exns.(b) <- Some e);
+    Atomic.incr pool.tasks_run;
+    Obs.Metrics.incr m_tasks;
+    if Obs.Metrics.enabled Obs.Metrics.default && Int64.compare t_enqueue 0L > 0
+    then Obs.Metrics.observe m_queue_wait (Obs.Clock.seconds_since t_enqueue);
+    (try
+       if tracing then
+         Obs.Trace.with_span
+           ~args:[ ("block", Obs.Field.Int b) ]
+           Obs.Trace.default "pool.task"
+           (fun () -> f b)
+       else f b
+     with e -> exns.(b) <- Some e);
     Domain.DLS.set in_task_key false;
     if Atomic.fetch_and_add remaining (-1) = 1 then begin
       Mutex.lock fin_mutex;
@@ -138,10 +219,16 @@ let for_blocks ?jobs ?pool n f =
           j
       | None, None -> default_jobs ()
     in
-    if jobs = 1 || n = 1 || in_task () then
+    if jobs = 1 || n = 1 || in_task () then begin
+      Obs.Metrics.incr m_seq_fallbacks;
+      if in_task () then Obs.Metrics.incr m_nested_fallbacks;
+      (match pool with
+      | Some p -> Atomic.incr p.seq_fallbacks
+      | None -> ());
       for b = 0 to n - 1 do
         f b
       done
+    end
     else
       let pool = match pool with Some p -> p | None -> get ~jobs in
       run_blocks pool n f

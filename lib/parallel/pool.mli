@@ -17,6 +17,30 @@
 
 type t
 
+type stats = {
+  tasks_run : int;  (** blocks actually executed through this pool *)
+  blocks_scheduled : int;  (** blocks pushed onto this pool's queue *)
+  sequential_fallbacks : int;
+      (** sections handed to this pool that ran inline instead (single
+          block, or issued from inside a pool task) *)
+}
+
+val stats : t -> stats
+(** A consistent-enough snapshot of this pool's lifetime counters (each
+    field is an atomic read; no lock is taken). Sections that fall back
+    to sequential before a pool is resolved — [?jobs] calls with
+    [jobs = 1] — are counted only by the process-wide
+    [pool_sequential_fallbacks_total] metric, not here.
+
+    Telemetry note: the pool also feeds the process-wide
+    {!Obs.Metrics.default} registry ([pool_tasks_total],
+    [pool_blocks_scheduled_total], [pool_queue_wait_seconds],
+    [pool_worker_busy_ns_total], [pool_worker_idle_ns_total],
+    [pool_sequential_fallbacks_total], [pool_nested_fallbacks_total])
+    and, when {!Obs.Trace.default} has a sink, emits one [pool.task]
+    span per executed block on the running domain's row. All probes are
+    single-branch no-ops while the registry is disabled. *)
+
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] capped at 8 — the default for
     every [?jobs] argument in the library and for the CLI [--jobs] flag. *)

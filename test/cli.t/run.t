@@ -75,6 +75,51 @@ bit-for-bit identical for every --jobs value.
   10        8          0.20434     24
   11        8          0.15420     24
 
+Telemetry: --metrics writes a Prometheus text snapshot on exit, --trace
+streams Chrome trace events (load the file in chrome://tracing or
+Perfetto), and --log-level enables structured progress logs on stderr.
+The report itself is unchanged by any of the three flags.
+
+  $ lia_cli infer --testbed run.tb --measurements run.meas --snapshots run.meas > plain.txt
+  $ lia_cli infer --testbed run.tb --measurements run.meas --snapshots run.meas \
+  >   --metrics m.txt --trace t.jsonl --log-level info > report.txt 2> err.log
+  $ diff plain.txt report.txt
+  $ cat err.log
+  [info ] loaded testbed file=run.tb paths=51 links=59
+  [info ] learned variances snapshots=12
+  [info ] built inference plan rank=30 deleted=29
+  [info ] served snapshot batch snapshots=12
+
+The dump covers the pool, the phase-1 kernels, and the serving plan;
+gauges like the plan rank are exact, so they appear verbatim.
+
+  $ grep -c "^pool_queue_wait_seconds_count" m.txt
+  1
+  $ grep -c "^lia_phase1_kernel_seconds_count" m.txt
+  1
+  $ grep -c "^plan_solve_snapshot_seconds_count" m.txt
+  1
+  $ grep "^plan_rank" m.txt
+  plan_rank 30
+  $ grep "^lia_pairs_total" m.txt
+  lia_pairs_total 1326
+
+The trace is a Chrome trace-event array: an opening bracket, then one
+complete event per line, among them the plan's batch-solve span.
+
+  $ sed -n 1p t.jsonl
+  [
+  $ grep -c "\"name\": \"plan.solve_batch\"" t.jsonl
+  1
+
+A ragged serving file is refused with the offending line and the width
+the header promised.
+
+  $ { head -3 run.meas; sed -n 4p run.meas | cut -d' ' -f1-50; sed -n 5,13p run.meas; } > bad.meas
+  $ lia_cli infer --testbed run.tb --measurements run.meas --snapshots bad.meas
+  lia_cli: bad.meas:4: expected 51 columns, got 50
+  [2]
+
   $ lia_cli check --testbed run.tb
   assumptions on 51 measured paths:
     every link covered by a path                  ok
@@ -92,5 +137,5 @@ Validation needs at least three snapshots and reports eq. (11) consistency.
 Malformed inputs fail cleanly.
 
   $ lia_cli infer --testbed run.tb --measurements run.tb
-  lia_cli: missing netloss-measurements header
+  lia_cli: run.tb:1: missing "netloss-measurements 1 <snapshots> <paths>" header
   [2]

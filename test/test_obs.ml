@@ -1,0 +1,278 @@
+(* Tests for lib/obs: histogram bucket-edge semantics, deterministic
+   counter merges under the domain pool, well-formed trace JSONL from pool
+   workers, and the contract that enabling telemetry never changes the
+   bits the inference computes. *)
+
+module Matrix = Linalg.Matrix
+module Rng = Nstats.Rng
+module Pool = Parallel.Pool
+
+let bits_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let vec_bits_equal v1 v2 =
+  Array.length v1 = Array.length v2 && Array.for_all2 bits_equal v1 v2
+
+(* --- histograms -------------------------------------------------------- *)
+
+let test_histogram_bucket_edges () =
+  let reg = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram reg ~buckets:[| 1.; 2.; 4. |] "h_seconds" in
+  (* Prometheus inclusive-le: an observation equal to an edge lands in
+     that edge's bucket; above the last edge goes to the +Inf overflow *)
+  List.iter (Obs.Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 4.0; 4.5 ];
+  Alcotest.(check (array int))
+    "per-bucket counts" [| 2; 2; 1; 1 |]
+    (Obs.Metrics.histogram_counts h);
+  Alcotest.(check int) "total count" 6 (Obs.Metrics.histogram_count h);
+  Alcotest.(check bool) "sum" true
+    (abs_float (Obs.Metrics.histogram_sum h -. 13.5) < 1e-12)
+
+let test_histogram_rejects_bad_buckets () =
+  let reg = Obs.Metrics.create () in
+  Alcotest.check_raises "non-increasing edges"
+    (Invalid_argument
+       "Obs.Metrics.histogram: bucket edges must be strictly increasing")
+    (fun () -> ignore (Obs.Metrics.histogram reg ~buckets:[| 1.; 1. |] "bad"))
+
+let test_registration_idempotent () =
+  let reg = Obs.Metrics.create () in
+  let c1 = Obs.Metrics.counter reg "shared_total" in
+  let c2 = Obs.Metrics.counter reg "shared_total" in
+  Obs.Metrics.incr c1;
+  Obs.Metrics.incr c2;
+  Alcotest.(check int) "same underlying cells" 2 (Obs.Metrics.counter_value c1);
+  Alcotest.check_raises "type clash rejected"
+    (Invalid_argument
+       "Obs.Metrics: \"shared_total\" registered with another type")
+    (fun () -> ignore (Obs.Metrics.gauge reg "shared_total"))
+
+let test_disabled_probes_are_inert () =
+  let reg = Obs.Metrics.create ~on:false () in
+  let c = Obs.Metrics.counter reg "quiet_total" in
+  let h = Obs.Metrics.histogram reg "quiet_seconds" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.observe h 1.0;
+  Alcotest.(check int) "counter untouched" 0 (Obs.Metrics.counter_value c);
+  Alcotest.(check int) "histogram untouched" 0 (Obs.Metrics.histogram_count h)
+
+(* --- deterministic merges under the pool ------------------------------- *)
+
+let test_counter_merge_across_jobs () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg "work_total" in
+  let h = Obs.Metrics.histogram reg "work_seconds" in
+  List.iter
+    (fun jobs ->
+      Obs.Metrics.reset reg;
+      Pool.parallel_for ~jobs ~min_block:16 ~n:5000 (fun i ->
+          Obs.Metrics.incr c;
+          if i land 1023 = 0 then Obs.Metrics.observe h 1e-4);
+      (* sharded integer cells merge by summation: the merged value is
+         independent of which domain ran which block *)
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d counter" jobs)
+        5000
+        (Obs.Metrics.counter_value c);
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d histogram count" jobs)
+        5
+        (Obs.Metrics.histogram_count h))
+    [ 1; 2; 4 ]
+
+(* --- trace JSONL from pool workers ------------------------------------- *)
+
+(* minimal structural validity: a single-line JSON object, braces and
+   brackets balanced outside strings, quotes closed, escapes consumed *)
+let json_object_well_formed line =
+  let n = String.length line in
+  let s =
+    if n > 0 && line.[n - 1] = ',' then String.sub line 0 (n - 1) else line
+  in
+  let n = String.length s in
+  if n < 2 || s.[0] <> '{' || s.[n - 1] <> '}' then false
+  else begin
+    let depth = ref 0 and in_str = ref false and esc = ref false in
+    let ok = ref true in
+    String.iter
+      (fun ch ->
+        if !esc then esc := false
+        else if !in_str then begin
+          match ch with
+          | '\\' -> esc := true
+          | '"' -> in_str := false
+          | _ -> ()
+        end
+        else
+          match ch with
+          | '"' -> in_str := true
+          | '{' | '[' -> incr depth
+          | '}' | ']' ->
+              decr depth;
+              if !depth < 0 then ok := false
+          | _ -> ())
+      s;
+    !ok && !depth = 0 && (not !in_str) && not !esc
+  end
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* pull an integer field out of one event line; enough of a parser for
+   the fixed shapes Trace.emit produces *)
+let field_int line key =
+  let marker = Printf.sprintf "\"%s\": " key in
+  let ml = String.length marker in
+  let rec find i =
+    if i + ml > String.length line then
+      Alcotest.failf "field %s missing in %s" key line
+    else if String.sub line i ml = marker then i + ml
+    else find (i + 1)
+  in
+  let start = find 0 in
+  let stop = ref start in
+  while
+    !stop < String.length line
+    && (match line.[!stop] with '0' .. '9' | '-' -> true | _ -> false)
+  do
+    incr stop
+  done;
+  int_of_string (String.sub line start (!stop - start))
+
+let test_pool_spans_well_formed_jsonl () =
+  let tr = Obs.Trace.default in
+  let sink, lines = Obs.Sink.memory () in
+  Obs.Trace.set_sink tr (Some sink);
+  Obs.Trace.with_span tr "outer" (fun () ->
+      Pool.for_blocks ~jobs:2 4 (fun b ->
+          Obs.Trace.with_span tr "inner"
+            ~args:[ ("block", Obs.Field.Int b) ]
+            (fun () -> ignore (Sys.opaque_identity (b * b)))));
+  Obs.Trace.close tr;
+  let ls = lines () in
+  (match ls with
+  | opening :: _ -> Alcotest.(check string) "array opening" "[" opening
+  | [] -> Alcotest.fail "empty trace");
+  let events = List.tl ls in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool)
+        (Printf.sprintf "well-formed event %s" l)
+        true (json_object_well_formed l))
+    events;
+  let named name = List.filter (contains ~needle:("\"name\": \"" ^ name ^ "\"")) events in
+  (* 1 outer + 4 inner + 4 pool.task wrappers *)
+  Alcotest.(check int) "one outer span" 1 (List.length (named "outer"));
+  Alcotest.(check int) "inner span per block" 4 (List.length (named "inner"));
+  Alcotest.(check int) "pool.task span per block" 4
+    (List.length (named "pool.task"));
+  (* nesting: whatever domain each inner span ran on, its time range is
+     contained in the outer span's range *)
+  let outer = List.hd (named "outer") in
+  let o_ts = field_int outer "ts" and o_dur = field_int outer "dur" in
+  List.iter
+    (fun l ->
+      let ts = field_int l "ts" and dur = field_int l "dur" in
+      Alcotest.(check bool) "starts inside outer" true (ts >= o_ts);
+      Alcotest.(check bool) "ends inside outer" true
+        (ts + dur <= o_ts + o_dur))
+    (named "inner")
+
+(* --- telemetry never changes the inference ----------------------------- *)
+
+let random_campaign seed =
+  let rng = Rng.create seed in
+  let n = 120 + (seed mod 80) in
+  let tb = Topology.Tree_gen.generate rng ~nodes:n ~max_branching:5 () in
+  let red = Topology.Testbed.routing tb in
+  let r = red.Topology.Routing.matrix in
+  let config =
+    Netsim.Snapshot.default_config Lossmodel.Loss_model.llrd1_calibrated
+  in
+  let run = Netsim.Simulator.run rng config r ~count:13 in
+  let y_learn, target = Netsim.Simulator.split_learning run ~learning:12 in
+  (r, y_learn, target.Netsim.Snapshot.y)
+
+let prop_inference_bits_unchanged_by_obs =
+  QCheck.Test.make ~count:4
+    ~name:"inference bit-identical with telemetry enabled vs disabled"
+    QCheck.(int_range 1 5000)
+    (fun seed ->
+      let r, y_learn, y_now = random_campaign seed in
+      let reg = Obs.Metrics.default in
+      Obs.Metrics.disable reg;
+      let off = Core.Lia.infer ~r ~y_learn ~y_now () in
+      Obs.Metrics.reset reg;
+      Obs.Metrics.enable reg;
+      let trace_sink, _ = Obs.Sink.memory () in
+      Obs.Trace.set_sink Obs.Trace.default (Some trace_sink);
+      let log_sink, _ = Obs.Sink.memory () in
+      Obs.Logger.set_sink Obs.Logger.default (Some log_sink);
+      Obs.Logger.set_level Obs.Logger.default (Some Obs.Logger.Debug);
+      let on = Core.Lia.infer ~r ~y_learn ~y_now () in
+      Obs.Logger.set_level Obs.Logger.default None;
+      Obs.Logger.set_sink Obs.Logger.default None;
+      Obs.Trace.close Obs.Trace.default;
+      Obs.Metrics.disable reg;
+      Obs.Metrics.reset reg;
+      vec_bits_equal off.Core.Lia.loss_rates on.Core.Lia.loss_rates
+      && off.Core.Lia.kept = on.Core.Lia.kept)
+
+(* --- dump format ------------------------------------------------------- *)
+
+let test_dump_prometheus_shape () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg ~help:"things done" "things_total" in
+  let h = Obs.Metrics.histogram reg ~buckets:[| 0.1; 1. |] "lat_seconds" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.observe h 0.05;
+  Obs.Metrics.observe h 5.0;
+  let d = Obs.Metrics.dump reg in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "dump has %S" needle) true
+        (contains ~needle d))
+    [
+      "# HELP things_total things done";
+      "# TYPE things_total counter";
+      "things_total 1";
+      "# TYPE lat_seconds histogram";
+      "lat_seconds_bucket{le=\"0.1\"} 1";
+      (* cumulative: +Inf counts every observation *)
+      "lat_seconds_bucket{le=\"+Inf\"} 2";
+      "lat_seconds_count 2";
+    ]
+
+let metrics_tests =
+  [
+    Alcotest.test_case "histogram: inclusive bucket edges" `Quick
+      test_histogram_bucket_edges;
+    Alcotest.test_case "histogram: bad buckets rejected" `Quick
+      test_histogram_rejects_bad_buckets;
+    Alcotest.test_case "registration idempotent by name" `Quick
+      test_registration_idempotent;
+    Alcotest.test_case "disabled probes are inert" `Quick
+      test_disabled_probes_are_inert;
+    Alcotest.test_case "counter merge jobs-invariant" `Quick
+      test_counter_merge_across_jobs;
+    Alcotest.test_case "dump: Prometheus text shape" `Quick
+      test_dump_prometheus_shape;
+  ]
+
+let trace_tests =
+  [
+    Alcotest.test_case "pool spans emit well-formed JSONL" `Quick
+      test_pool_spans_well_formed_jsonl;
+  ]
+
+let invariance_tests =
+  List.map QCheck_alcotest.to_alcotest [ prop_inference_bits_unchanged_by_obs ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("metrics", metrics_tests);
+      ("trace", trace_tests);
+      ("invariance", invariance_tests);
+    ]

@@ -142,6 +142,25 @@ let test_explicit_pool_shutdown () =
     (Invalid_argument "Parallel.Pool: pool has been shut down") (fun () ->
       Pool.for_blocks ~pool 32 (fun _ -> ()))
 
+let test_pool_stats () =
+  let pool = Pool.create ~jobs:2 in
+  let s0 = Pool.stats pool in
+  Alcotest.(check int) "fresh tasks" 0 s0.Pool.tasks_run;
+  Alcotest.(check int) "fresh blocks" 0 s0.Pool.blocks_scheduled;
+  Alcotest.(check int) "fresh fallbacks" 0 s0.Pool.sequential_fallbacks;
+  Pool.for_blocks ~pool 8 (fun _ -> ());
+  Pool.for_blocks ~pool 5 (fun _ -> ());
+  let s = Pool.stats pool in
+  Alcotest.(check int) "every block became a task" 13 s.Pool.tasks_run;
+  Alcotest.(check int) "blocks scheduled" 13 s.Pool.blocks_scheduled;
+  Alcotest.(check int) "no fallbacks yet" 0 s.Pool.sequential_fallbacks;
+  (* a single block degrades to an inline run and is counted as such *)
+  Pool.for_blocks ~pool 1 (fun _ -> ());
+  let s = Pool.stats pool in
+  Alcotest.(check int) "fallback counted" 1 s.Pool.sequential_fallbacks;
+  Alcotest.(check int) "no task for the inline run" 13 s.Pool.tasks_run;
+  Pool.shutdown pool
+
 let test_nested_calls_safe () =
   let n = 8 in
   let out = Array.make n 0 in
@@ -263,6 +282,8 @@ let pool_tests =
       test_pool_reuse_across_calls;
     Alcotest.test_case "pool: explicit create/shutdown" `Quick
       test_explicit_pool_shutdown;
+    Alcotest.test_case "pool: stats counts tasks and fallbacks" `Quick
+      test_pool_stats;
     Alcotest.test_case "pool: nested sections are safe" `Quick
       test_nested_calls_safe;
     Alcotest.test_case "pool: accumulation buffers reused" `Quick
