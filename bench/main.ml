@@ -19,6 +19,7 @@ let experiments =
     ("timing-sweep", Timing.run_sweep);
     ("timing-smoke", Timing.run_smoke);
     ("obs-smoke", Timing.run_obs_smoke);
+    ("chaos-smoke", Chaos.run_smoke);
     ("ablations", Ablations.run);
     ("delay", Ext_delay.run);
     ("baselines", Baselines.run);

@@ -224,6 +224,21 @@ let obs_overhead ~reps ~r ~y_learn =
   Obs.Metrics.reset reg;
   (t_off, t_on)
 
+(* Chaos acceptance: the checked pipeline (quarantine scrub, pairwise
+   ESS guard, health verdict) must cost ~nothing over the unchecked
+   Lia.infer on clean input — both run the same phase-1 kernel, so only
+   the scrub and verdict assembly are extra. Measured on the sweep's
+   largest overlay; target < 2%. *)
+let chaos_overhead ~reps ~r ~y_learn ~y_now =
+  let t_plain =
+    time_best ~reps (fun () -> ignore (Core.Lia.infer ~r ~y_learn ~y_now ()))
+  in
+  let t_checked =
+    time_best ~reps (fun () ->
+        ignore (Core.Lia.infer_checked ~r ~y_learn ~y_now ()))
+  in
+  (t_plain, t_checked)
+
 let sweep ~out ~jobs_list ~reps ~snapshots ~plan_snapshots ~hosts_list () =
   Exp_common.header "multicore jobs sweep (PlanetLab-like overlays)";
   Exp_common.note "host recommended domain count: %d"
@@ -234,6 +249,7 @@ let sweep ~out ~jobs_list ~reps ~snapshots ~plan_snapshots ~hosts_list () =
     jobs_list;
   let buf = Buffer.create 4096 in
   let obs_json = ref "" in
+  let chaos_json = ref "" in
   Buffer.add_string buf "{\n";
   Printf.bprintf buf "  \"bench\": \"lia-parallel-kernels\",\n";
   Printf.bprintf buf
@@ -253,7 +269,10 @@ let sweep ~out ~jobs_list ~reps ~snapshots ~plan_snapshots ~hosts_list () =
         Netsim.Snapshot.default_config Lossmodel.Loss_model.llrd1_calibrated
       in
       let run = Netsim.Simulator.run rng config r ~count:(snapshots + 1) in
-      let y_learn, _ = Netsim.Simulator.split_learning run ~learning:snapshots in
+      let y_learn, target =
+        Netsim.Simulator.split_learning run ~learning:snapshots
+      in
+      let y_now = target.Netsim.Snapshot.y in
       let a = Core.Augmented.build r in
       Exp_common.subheader
         (Printf.sprintf "%d hosts: %d paths x %d links, m = %d" hosts
@@ -342,11 +361,32 @@ let sweep ~out ~jobs_list ~reps ~snapshots ~plan_snapshots ~hosts_list () =
             \    \"overhead_pct\": %.3f,\n\
             \    \"target_pct\": 2.0\n\
             \  },\n"
-            hosts reps t_off t_on pct
+            hosts reps t_off t_on pct;
+        (* fault-tolerance overhead on the same overlay: checked vs
+           unchecked end-to-end inference on clean input *)
+        let t_plain, t_checked = chaos_overhead ~reps ~r ~y_learn ~y_now in
+        let cpct = 100. *. (t_checked -. t_plain) /. t_plain in
+        Exp_common.note
+          "chaos overhead (infer_checked vs infer, %d hosts): plain %.4f s, \
+           checked %.4f s (%+.2f%%, target < 2%%)"
+          hosts t_plain t_checked cpct;
+        chaos_json :=
+          Printf.sprintf
+            "  \"chaos_overhead\": {\n\
+            \    \"kernel\": \"infer_checked_vs_infer\",\n\
+            \    \"hosts\": %d,\n\
+            \    \"reps\": %d,\n\
+            \    \"infer_seconds\": %.6f,\n\
+            \    \"infer_checked_seconds\": %.6f,\n\
+            \    \"overhead_pct\": %.3f,\n\
+            \    \"target_pct\": 2.0\n\
+            \  },\n"
+            hosts reps t_plain t_checked cpct
       end)
     hosts_list;
   Buffer.add_string buf "\n  ],\n";
   Buffer.add_string buf !obs_json;
+  Buffer.add_string buf !chaos_json;
   Printf.bprintf buf "  \"solve_per_snapshot_source\": \"%s\"\n}\n"
     "plan_solve_snapshot_seconds histogram (metrics registry)";
   let oc = open_out out in

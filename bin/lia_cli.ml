@@ -33,6 +33,30 @@ let measurements_arg =
     & info [ "y"; "measurements" ] ~docv:"FILE"
         ~doc:"Measurement file (from $(b,sim)).")
 
+(* Raised after the health verdict has been printed; mapped to exit 3 in
+   [main] so refusals are distinguishable from data errors (exit 2). *)
+exception Refusal
+
+let fault_conv =
+  let parse s =
+    match Netsim.Faults.parse s with
+    | Ok t -> Ok t
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf t -> Format.pp_print_string ppf (Netsim.Faults.to_string t))
+
+let fault_spec_arg =
+  Arg.(
+    value
+    & opt fault_conv Netsim.Faults.none
+    & info [ "fault-spec" ] ~docv:"SPEC"
+        ~doc:
+          "Seeded deterministic fault injection, e.g. \
+           $(b,seed=7,drop=0.1,miss=0.05,oor=0.01,churn=2\\@0.5). Clauses: \
+           $(b,seed=N), $(b,drop=P), $(b,miss=P), $(b,nan=P), $(b,oor=P), \
+           $(b,neg=P), $(b,dup=P), $(b,churn=K\\@F), $(b,route_shift=F), \
+           $(b,none). Same spec, same input: bit-identical faults.")
+
 let jobs_arg =
   Arg.(
     value
@@ -252,7 +276,8 @@ let sim_cmd =
       & info [ "truth" ] ~docv:"FILE"
           ~doc:"Also write the final snapshot's true link loss rates.")
   in
-  let run testbed snapshots probes congestion model dynamics seed output truth =
+  let run testbed snapshots probes congestion model dynamics fault_spec seed
+      output truth =
     let tb = Topology.Serial.load testbed in
     let red = routing_of_testbed tb in
     let r = red.Topology.Routing.matrix in
@@ -262,9 +287,12 @@ let sim_cmd =
         Snapshot.probes; congestion_prob = congestion }
     in
     let run_result = Simulator.run ~dynamics rng config r ~count:snapshots in
-    Netsim.Trace_io.save output run_result.Simulator.y;
-    Printf.printf "wrote %s: %d snapshots x %d paths\n" output snapshots
+    let y, fault_schedule = Netsim.Faults.apply fault_spec run_result.Simulator.y in
+    Netsim.Trace_io.save output y;
+    Printf.printf "wrote %s: %d snapshots x %d paths\n" output (Matrix.rows y)
       (Sparse.rows r);
+    if not (Netsim.Faults.is_none fault_spec) then
+      Printf.printf "fault injection: %s\n" (Netsim.Faults.summary fault_schedule);
     Option.iter
       (fun path ->
         let last = run_result.Simulator.snapshots.(snapshots - 1) in
@@ -281,7 +309,7 @@ let sim_cmd =
   let term =
     Term.(
       const run $ testbed_arg $ snapshots $ probes $ congestion $ model $ dynamics
-      $ seed_arg $ output $ truth)
+      $ fault_spec_arg $ seed_arg $ output $ truth)
   in
   Cmd.v (Cmd.info "sim" ~doc:"Simulate a measurement campaign on a testbed.") term
 
@@ -309,7 +337,7 @@ let infer_cmd =
              solve each snapshot row of $(i,FILE) through it (one line per \
              snapshot instead of the full link table).")
   in
-  let run testbed measurements snapshots threshold top jobs obs_cfg =
+  let run testbed measurements snapshots fault_spec threshold top jobs obs_cfg =
     with_obs obs_cfg @@ fun () ->
     let log = Obs.Logger.default in
     let tb = Topology.Serial.load testbed in
@@ -322,25 +350,47 @@ let infer_cmd =
           ("paths", Obs.Field.Int (Sparse.rows r));
           ("links", Obs.Field.Int (Sparse.cols r));
         ];
-    let y = Netsim.Trace_io.load measurements in
-    if Matrix.cols y <> Sparse.rows r then
-      failwith "measurement width does not match the testbed's path count";
     if jobs < 1 then failwith "--jobs must be at least 1";
     match snapshots with
     | None ->
+        (* The default diagnosis path is quarantine-aware: it loads
+           permissively and reports a typed health verdict, so a file
+           written by [sim --fault-spec] (or a ragged real-world
+           collector) degrades gracefully instead of crashing or
+           silently producing NaN loss rates. *)
+        let y = Netsim.Trace_io.load ~strict:false measurements in
+        if Matrix.cols y <> Sparse.rows r then
+          failwith "measurement width does not match the testbed's path count";
+        let y, fault_schedule = Netsim.Faults.apply fault_spec y in
+        if not (Netsim.Faults.is_none fault_spec) then
+          Printf.printf "fault injection: %s\n"
+            (Netsim.Faults.summary fault_schedule);
         let m = Matrix.rows y - 1 in
         if m < 2 then
           failwith "need at least 3 snapshots (m >= 2 learning + 1 target)";
         let y_learn = Matrix.init m (Matrix.cols y) (fun l i -> Matrix.get y l i) in
         let y_now = Matrix.row y m in
-        let result = Core.Lia.infer ~jobs ~r ~y_learn ~y_now () in
-        Printf.printf "learned variances from %d snapshots\n" m;
-        print_string
-          (Core.Report.table
-             ~options:
-               { Core.Report.default_options with Core.Report.threshold; top }
-             ~graph:tb.Topology.Testbed.graph ~routing:red result)
+        let checked = Core.Lia.infer_checked ~jobs ~r ~y_learn ~y_now () in
+        (match checked.Core.Lia.result with
+        | None ->
+            Printf.printf "health: %s\n"
+              (Core.Lia.health_summary checked.Core.Lia.health);
+            raise Refusal
+        | Some result ->
+            Printf.printf "learned variances from %d snapshots\n" m;
+            Printf.printf "health: %s\n"
+              (Core.Lia.health_summary checked.Core.Lia.health);
+            print_string
+              (Core.Report.table
+                 ~options:
+                   { Core.Report.default_options with Core.Report.threshold; top }
+                 ~graph:tb.Topology.Testbed.graph ~routing:red result))
     | Some file ->
+        if not (Netsim.Faults.is_none fault_spec) then
+          failwith "--fault-spec is not supported with --snapshots";
+        let y = Netsim.Trace_io.load measurements in
+        if Matrix.cols y <> Sparse.rows r then
+          failwith "measurement width does not match the testbed's path count";
         if Matrix.rows y < 2 then
           failwith "need at least 2 learning snapshots to learn variances";
         let variances = Core.Variance_estimator.estimate ~jobs ~r ~y () in
@@ -379,8 +429,8 @@ let infer_cmd =
   in
   let term =
     Term.(
-      const run $ testbed_arg $ measurements_arg $ snapshots_arg $ threshold $ top
-      $ jobs_arg $ obs_term)
+      const run $ testbed_arg $ measurements_arg $ snapshots_arg $ fault_spec_arg
+      $ threshold $ top $ jobs_arg $ obs_term)
   in
   Cmd.v
     (Cmd.info "infer"
@@ -473,6 +523,7 @@ let () =
   match Cmd.eval_value ~catch:false main with
   | Ok _ -> ()
   | Error _ -> exit 124
+  | exception Refusal -> exit 3
   | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
       Printf.eprintf "lia_cli: %s\n" msg;
       exit 2

@@ -55,3 +55,68 @@ val infer_with_variances :
 
 val congested : result -> threshold:float -> bool array
 (** Links whose inferred loss rate exceeds the threshold [tl]. *)
+
+(** {1 Health-checked inference}
+
+    The graceful-degradation entry point for production ingest, where
+    snapshot files arrive ragged, NaN-laden, duplicated, or short: the
+    learning matrix is scrubbed through {!Quarantine}, the variances are
+    learnt pairwise-complete with an effective-sample-size guard, and
+    the caller receives a typed verdict instead of an exception escape,
+    a NaN-laden estimate, or a silent wrong answer. *)
+
+type degradation = {
+  quarantine : Quarantine.report;  (** what ingest scrubbing removed *)
+  ess : Variance_estimator.ess;  (** pairwise-complete sample accounting *)
+  target_missing : int;  (** missing entries excluded from [y_now] *)
+  target_corrupt : int;  (** corrupt entries excluded from [y_now] *)
+}
+
+type health =
+  | Clean
+      (** nothing was quarantined or skipped; the result is bit-for-bit
+          [infer] on the same inputs *)
+  | Degraded of degradation
+      (** inference proceeded on the surviving data; the report bounds
+          what was lost *)
+  | Refused of string
+      (** too little usable signal — no estimate is returned, and the
+          reason says why *)
+
+type checked = { health : health; result : result option }
+(** [result] is [Some] iff [health] is not [Refused]; when present its
+    [loss_rates] and [variances] are always finite. *)
+
+val infer_checked :
+  ?jobs:int ->
+  ?min_pair_samples:int ->
+  ?max_missing_fraction:float ->
+  ?max_skipped_pair_fraction:float ->
+  r:Linalg.Sparse.t ->
+  y_learn:Linalg.Matrix.t ->
+  y_now:Linalg.Vector.t ->
+  unit ->
+  checked
+(** [infer_checked ~r ~y_learn ~y_now ()] is the fault-tolerant [infer]:
+
+    - [y_learn] is scrubbed ({!Quarantine.scrub}, tolerating up to
+      [max_missing_fraction] (default 0.5) missing cells per row);
+      refused when fewer than 2 rows survive;
+    - variances are learnt pairwise-complete with at least
+      [min_pair_samples] (default 2) overlapping snapshots per pair;
+      refused when more than [max_skipped_pair_fraction] (default 0.5)
+      of the linked path pairs had to be skipped;
+    - invalid entries of [y_now] are excluded and Phase 2 solves over
+      the valid paths only; refused when none remain;
+    - any solver failure or non-finite output becomes [Refused], never
+      an exception escape.
+
+    Raises [Invalid_argument] only for dimension mismatches (programming
+    errors, not data faults). Deterministic: same inputs give the same
+    verdict and bit-identical estimates for every [jobs] value. *)
+
+val health_label : health -> string
+(** ["clean"], ["degraded"], or ["refused"]. *)
+
+val health_summary : health -> string
+(** One-line rendering including quarantine and sample accounting. *)

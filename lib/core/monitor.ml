@@ -20,6 +20,11 @@ let m_relearns =
     ~help:"Variance re-estimations over the monitor window"
     "monitor_variance_relearns_total"
 
+let m_quarantined =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"Snapshots rejected by monitor ingest validation"
+    "monitor_quarantined_total"
+
 let g_window_fill =
   Obs.Metrics.gauge Obs.Metrics.default
     ~help:"Snapshots currently buffered by the most recent monitor"
@@ -36,11 +41,13 @@ let create ~r ~window =
   if window < 2 then invalid_arg "Monitor.create: window < 2";
   { r; window; buffer = Queue.create (); cached_variances = None }
 
-let observe t y =
-  if Array.length y <> Sparse.rows t.r then
-    invalid_arg "Monitor.observe: measurement length mismatch";
+(* [push] takes ownership of [y]; every path into the window goes
+   through it, so eviction and cache invalidation can never get out of
+   sync with ingest (a stale cached variance vector after host churn
+   would silently poison every subsequent inference). *)
+let push t y =
   Obs.Metrics.incr m_observations;
-  Queue.add (Array.copy y) t.buffer;
+  Queue.add y t.buffer;
   if Queue.length t.buffer > t.window then begin
     ignore (Queue.pop t.buffer);
     Obs.Metrics.incr m_evictions
@@ -51,6 +58,47 @@ let observe t y =
   end;
   Obs.Metrics.set g_window_fill (float_of_int (Queue.length t.buffer));
   t.cached_variances <- None
+
+let observe t y =
+  if Array.length y <> Sparse.rows t.r then
+    invalid_arg "Monitor.observe: measurement length mismatch";
+  push t (Array.copy y)
+
+type observation =
+  | Accepted
+  | Accepted_degraded of { missing : int; corrupt : int }
+  | Rejected of Quarantine.reason
+
+let observation_to_string = function
+  | Accepted -> "accepted"
+  | Accepted_degraded { missing; corrupt } ->
+      Printf.sprintf "accepted degraded (%d missing, %d corrupt)" missing
+        corrupt
+  | Rejected reason ->
+      Printf.sprintf "rejected (%s)" (Quarantine.reason_to_string reason)
+
+let observe_checked ?(max_missing_fraction = 0.5) t y =
+  if Array.length y <> Sparse.rows t.r then
+    invalid_arg "Monitor.observe_checked: measurement length mismatch";
+  let scrubbed, rep = Quarantine.scrub_vector y in
+  let np = Array.length y in
+  let invalid = np - Array.length rep.Quarantine.valid in
+  if invalid = np && np > 0 then begin
+    Obs.Metrics.incr m_quarantined;
+    Rejected Quarantine.All_missing
+  end
+  else if float_of_int invalid > max_missing_fraction *. float_of_int (max 1 np)
+  then begin
+    Obs.Metrics.incr m_quarantined;
+    Rejected (Quarantine.Excess_missing { missing = invalid; total = np })
+  end
+  else begin
+    push t scrubbed;
+    if invalid = 0 then Accepted
+    else
+      Accepted_degraded
+        { missing = rep.Quarantine.v_missing; corrupt = rep.Quarantine.v_corrupt }
+  end
 
 let size t = Queue.length t.buffer
 
@@ -82,5 +130,19 @@ let variances t =
       v
 
 let infer t ~y_now = Lia.infer_with_variances ~r:t.r ~variances:(variances t) ~y_now
+
+let infer_checked ?min_pair_samples ?max_missing_fraction
+    ?max_skipped_pair_fraction t ~y_now =
+  if size t < 2 then
+    {
+      Lia.health =
+        Lia.Refused
+          (Printf.sprintf "monitor window holds %d snapshots (need at least 2)"
+             (size t));
+      result = None;
+    }
+  else
+    Lia.infer_checked ?min_pair_samples ?max_missing_fraction
+      ?max_skipped_pair_fraction ~r:t.r ~y_learn:(window_matrix t) ~y_now ()
 
 let anomaly_model t = Anomaly.learn (window_matrix t)

@@ -17,6 +17,26 @@ val observe : t -> Linalg.Vector.t -> unit
     the oldest when the window is full. Raises [Invalid_argument] on a
     length mismatch. *)
 
+type observation =
+  | Accepted  (** every measurement was a valid log success rate *)
+  | Accepted_degraded of { missing : int; corrupt : int }
+      (** buffered, but with that many cells neutralized to missing *)
+  | Rejected of Quarantine.reason
+      (** not buffered: too little of the snapshot was usable *)
+
+val observation_to_string : observation -> string
+
+val observe_checked :
+  ?max_missing_fraction:float -> t -> Linalg.Vector.t -> observation
+(** Validating ingest: NaN cells are treated as missing, non-finite or
+    positive log rates as corrupt (neutralized to missing after being
+    counted). A snapshot whose invalid fraction exceeds
+    [max_missing_fraction] (default 0.5) — or that is entirely invalid —
+    is rejected and never enters the window, so a faulty collector
+    cannot push the monitor's variance estimates off a cliff. Accepted
+    snapshots invalidate the variance cache exactly like {!observe}.
+    Raises [Invalid_argument] on a length mismatch only. *)
+
 val size : t -> int
 (** Snapshots currently held. *)
 
@@ -32,6 +52,17 @@ val variances : t -> Linalg.Vector.t
 
 val infer : t -> y_now:Linalg.Vector.t -> Lia.result
 (** Phase 2 on [y_now] with the cached variances. *)
+
+val infer_checked :
+  ?min_pair_samples:int ->
+  ?max_missing_fraction:float ->
+  ?max_skipped_pair_fraction:float ->
+  t ->
+  y_now:Linalg.Vector.t ->
+  Lia.checked
+(** {!Lia.infer_checked} over the current window: never raises on data
+    faults, returning a typed verdict instead; an under-filled window
+    (fewer than 2 snapshots) is a [Refused] verdict, not an error. *)
 
 val anomaly_model : t -> Anomaly.model
 (** Per-path baseline over the current window. *)

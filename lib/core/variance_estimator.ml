@@ -10,9 +10,21 @@ let m_pairs =
   Obs.Metrics.counter Obs.Metrics.default
     ~help:"Path pairs swept by the phase-1 kernels" "lia_pairs_total"
 
+let m_pairs_skipped =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"Path pairs skipped for lack of overlapping snapshots"
+    "lia_pairs_skipped_total"
+
+let g_samples_min =
+  Obs.Metrics.gauge Obs.Metrics.default
+    ~help:"Smallest pairwise-complete sample count used by the last phase-1 run"
+    "lia_effective_samples_min"
+
 type method_ = Normal_equations | Dense_qr
 
 type options = { method_ : method_; drop_negative : bool; clamp : bool }
+
+type ess = { pairs_total : int; pairs_used : int; samples_min : int }
 
 let default_options =
   { method_ = Normal_equations; drop_negative = true; clamp = true }
@@ -36,33 +48,71 @@ let solve ?(options = default_options) ?jobs ~a ~sigma_star () =
   in
   if options.clamp then Array.map (fun x -> Float.max 0. x) v else v
 
-let estimate_streaming ?jobs ?(drop_negative = true) ?(clamp = true) ~r ~y () =
+let estimate_streaming_ess ?jobs ?(drop_negative = true) ?(clamp = true)
+    ?(min_pair_samples = 2) ~r ~y () =
   let np = Sparse.rows r and nc = Sparse.cols r in
   let m = Linalg.Matrix.rows y in
   if Linalg.Matrix.cols y <> np then
     invalid_arg "Variance_estimator.estimate_streaming: width mismatch";
   if m < 2 then
     invalid_arg "Variance_estimator.estimate_streaming: need at least 2 snapshots";
+  if min_pair_samples < 2 then
+    invalid_arg "Variance_estimator.estimate_streaming: min_pair_samples < 2";
   Obs.Metrics.add m_pairs (np * (np + 1) / 2);
   Obs.Probe.kernel ~hist:m_phase1
     ~args:
       [ ("np", Obs.Field.Int np); ("nc", Obs.Field.Int nc); ("m", Obs.Field.Int m) ]
     "variance_estimator.estimate_streaming"
   @@ fun () ->
-  (* centered measurement columns, one array per path, for cheap pair
-     covariances *)
+  (* Centered measurement columns, one array per path, for cheap pair
+     covariances. Missing measurements (NaN) survive centering as NaN
+     and are excluded pairwise below; a column with no missing cells
+     takes the exact historical code path, so a complete matrix is
+     estimated with bit-for-bit the same operations as before the
+     fault-tolerance work. *)
   let centered = Array.make np [||] in
+  let has_missing = Array.make np false in
   Parallel.Pool.parallel_for ?jobs ~min_block:64 ~n:np (fun i ->
       let col = Array.init m (fun l -> Linalg.Matrix.get y l i) in
-      let mu = Array.fold_left ( +. ) 0. col /. float_of_int m in
+      let holes = Array.exists Float.is_nan col in
+      has_missing.(i) <- holes;
+      let mu =
+        if not holes then Array.fold_left ( +. ) 0. col /. float_of_int m
+        else begin
+          let sum = ref 0. and n = ref 0 in
+          Array.iter
+            (fun x ->
+              if not (Float.is_nan x) then begin
+                sum := !sum +. x;
+                incr n
+              end)
+            col;
+          if !n = 0 then Float.nan else !sum /. float_of_int !n
+        end
+      in
       centered.(i) <- Array.map (fun x -> x -. mu) col);
+  (* pairwise-complete covariance: value plus effective sample count *)
   let cov i j =
     let ci = centered.(i) and cj = centered.(j) in
-    let acc = ref 0. in
-    for l = 0 to m - 1 do
-      acc := !acc +. (ci.(l) *. cj.(l))
-    done;
-    !acc /. float_of_int (m - 1)
+    if not (has_missing.(i) || has_missing.(j)) then begin
+      let acc = ref 0. in
+      for l = 0 to m - 1 do
+        acc := !acc +. (ci.(l) *. cj.(l))
+      done;
+      (!acc /. float_of_int (m - 1), m)
+    end
+    else begin
+      let acc = ref 0. and n = ref 0 in
+      for l = 0 to m - 1 do
+        let a = ci.(l) and b = cj.(l) in
+        if not (Float.is_nan a || Float.is_nan b) then begin
+          acc := !acc +. (a *. b);
+          incr n
+        end
+      done;
+      if !n < 2 then (Float.nan, !n)
+      else (!acc /. float_of_int (!n - 1), !n)
+    end
   in
   (* Accumulate G = AᵀA and b = AᵀΣ̂* over the non-empty augmented rows of
      the pair triangle, cut into blocks whose count depends only on the
@@ -77,6 +127,11 @@ let estimate_streaming ?jobs ?(drop_negative = true) ?(clamp = true) ~r ~y () =
   let npairs = np * (np + 1) / 2 in
   let blocks = Parallel.Chunk.block_count npairs in
   let partial_b = Array.init blocks (fun _ -> Array.make nc 0.) in
+  (* per-block effective-sample-size tallies (exact integers, so their
+     merge below is independent of domain scheduling) *)
+  let blk_nonempty = Array.make blocks 0 in
+  let blk_skipped = Array.make blocks 0 in
+  let blk_min_n = Array.make blocks max_int in
   let gbufs = Parallel.Pool.Buffers.create (fun () -> Array.make (nc * nc) 0.) in
   Parallel.Pool.for_blocks ?jobs blocks (fun bk ->
       let lo, hi = Parallel.Chunk.range ~blocks ~n:npairs bk in
@@ -93,18 +148,26 @@ let estimate_streaming ?jobs ?(drop_negative = true) ?(clamp = true) ~r ~y () =
             if i = j then !ri else Sparse.row_product !ri (Sparse.row r j)
           in
           if Array.length row > 0 then begin
-            let s = cov i j in
-            if s >= 0. || not drop_negative then begin
-              let len = Array.length row in
-              for a = 0 to len - 1 do
-                let ja = row.(a) in
-                b.(ja) <- b.(ja) +. s;
-                let base = ja * nc in
-                for c = 0 to len - 1 do
-                  let k = base + row.(c) in
-                  g.(k) <- g.(k) +. 1.
+            blk_nonempty.(bk) <- blk_nonempty.(bk) + 1;
+            let s, n = cov i j in
+            if n < min_pair_samples then
+              (* too few overlapping snapshots: this pair's covariance
+                 carries no usable signal, drop its augmented row *)
+              blk_skipped.(bk) <- blk_skipped.(bk) + 1
+            else begin
+              if n < blk_min_n.(bk) then blk_min_n.(bk) <- n;
+              if s >= 0. || not drop_negative then begin
+                let len = Array.length row in
+                for a = 0 to len - 1 do
+                  let ja = row.(a) in
+                  b.(ja) <- b.(ja) +. s;
+                  let base = ja * nc in
+                  for c = 0 to len - 1 do
+                    let k = base + row.(c) in
+                    g.(k) <- g.(k) +. 1.
+                  done
                 done
-              done
+              end
             end
           end);
       Parallel.Pool.Buffers.return gbufs g);
@@ -125,7 +188,25 @@ let estimate_streaming ?jobs ?(drop_negative = true) ?(clamp = true) ~r ~y () =
   let gm = Linalg.Matrix.init nc nc (fun i j -> g.((i * nc) + j)) in
   let f = Linalg.Cholesky.factorize_regularized gm in
   let v = Linalg.Cholesky.solve_vec f b in
-  if clamp then Array.map (fun x -> Float.max 0. x) v else v
+  let v = if clamp then Array.map (fun x -> Float.max 0. x) v else v in
+  let pairs_total = Array.fold_left ( + ) 0 blk_nonempty in
+  let pairs_skipped = Array.fold_left ( + ) 0 blk_skipped in
+  let samples_min = Array.fold_left min max_int blk_min_n in
+  let ess =
+    {
+      pairs_total;
+      pairs_used = pairs_total - pairs_skipped;
+      samples_min = (if samples_min = max_int then 0 else samples_min);
+    }
+  in
+  Obs.Metrics.add m_pairs_skipped pairs_skipped;
+  Obs.Metrics.set g_samples_min (float_of_int ess.samples_min);
+  (v, ess)
+
+let estimate_streaming ?jobs ?drop_negative ?clamp ?min_pair_samples ~r ~y () =
+  fst
+    (estimate_streaming_ess ?jobs ?drop_negative ?clamp ?min_pair_samples ~r ~y
+       ())
 
 let estimate ?(options = default_options) ?jobs ~r ~y () =
   match options.method_ with

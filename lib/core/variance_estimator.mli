@@ -7,7 +7,16 @@
     Householder QR, also available here as an ablation). Negative sample
     covariances — pure sampling artifacts, as covariances of path losses
     are non-negative under the model — are dropped by default, as in the
-    paper's experiments. *)
+    paper's experiments.
+
+    {b Graceful degradation.} The streaming kernel tolerates missing
+    measurements (NaN cells, as produced by {!Quarantine.scrub} or by
+    host churn): each pair covariance is computed over the
+    pairwise-complete snapshots only, with column means taken over the
+    present entries, and pairs with fewer than [min_pair_samples]
+    overlapping snapshots are excluded from the system. On a complete
+    matrix the guarded path is never entered and the result is
+    bit-for-bit the historical estimator. *)
 
 type method_ = Normal_equations | Dense_qr
 
@@ -38,10 +47,25 @@ val estimate :
     dispatches to {!estimate_streaming}, which is mathematically identical
     but never materializes [A]. *)
 
+type ess = {
+  pairs_total : int;
+      (** path pairs whose augmented row is non-empty (pairs sharing at
+          least one link) *)
+  pairs_used : int;
+      (** of those, pairs with at least [min_pair_samples] overlapping
+          snapshots — equal to [pairs_total] on a complete matrix *)
+  samples_min : int;
+      (** smallest pairwise-complete sample count among the used pairs
+          ([m] on a complete matrix; 0 when no pair was usable) *)
+}
+(** Effective-sample-size accounting for the pairwise-complete
+    estimator, the signal [Lia.infer_checked] grades degradation on. *)
+
 val estimate_streaming :
   ?jobs:int ->
   ?drop_negative:bool ->
   ?clamp:bool ->
+  ?min_pair_samples:int ->
   r:Linalg.Sparse.t ->
   y:Linalg.Matrix.t ->
   unit ->
@@ -56,4 +80,22 @@ val estimate_streaming :
     The pair triangle is partitioned into balanced blocks processed by
     [jobs] domains (default [Parallel.Pool.default_jobs ()], so 1 on a
     single-core host); per-block partials are merged in a fixed order, so
-    the result is bit-for-bit identical for every [jobs] value. *)
+    the result is bit-for-bit identical for every [jobs] value.
+
+    [min_pair_samples] (default 2) is the effective-sample-size guard of
+    the pairwise-complete path: pairs with fewer overlapping snapshots
+    are excluded from the normal equations. Raises [Invalid_argument]
+    when it is below 2. *)
+
+val estimate_streaming_ess :
+  ?jobs:int ->
+  ?drop_negative:bool ->
+  ?clamp:bool ->
+  ?min_pair_samples:int ->
+  r:Linalg.Sparse.t ->
+  y:Linalg.Matrix.t ->
+  unit ->
+  Linalg.Vector.t * ess
+(** {!estimate_streaming} plus the effective-sample-size report; the
+    returned variances are bit-for-bit those of {!estimate_streaming}.
+    The [ess] integers are exact and identical for every [jobs] value. *)

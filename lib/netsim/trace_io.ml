@@ -16,7 +16,7 @@ let to_string y =
 (* Parse failures carry the source name and 1-based line number so the
    CLI can turn a ragged file into a one-line diagnostic instead of a
    backtrace. Blank and [#]-comment lines are skipped but still counted. *)
-let of_string ?(path = "<string>") s =
+let of_string ?(path = "<string>") ?(strict = true) s =
   let fail_line n fmt =
     Printf.ksprintf (fun msg -> failwith (Printf.sprintf "%s:%d: %s" path n msg)) fmt
   in
@@ -50,7 +50,23 @@ let of_string ?(path = "<string>") s =
               (List.map
                  (fun w ->
                    match float_of_string_opt w with
-                   | Some x -> x
+                   | Some x ->
+                       (* a measurement is a log success rate: finite and
+                          <= 0 (success rate in (0, 1]); anything else is
+                          corrupt unless the caller opted into permissive
+                          loading for quarantine-aware ingest *)
+                       if strict then begin
+                         if Float.is_nan x then
+                           fail_line n "missing measurement (NaN) %S" w
+                         else if not (Float.is_finite x) then
+                           fail_line n "non-finite measurement %S" w
+                         else if x > 0. then
+                           fail_line n
+                             "measurement %S is a positive log success rate \
+                              (success rate > 1)"
+                             w
+                       end;
+                       x
                    | None -> fail_line n "bad measurement %S" w)
                  cells)
           in
@@ -71,9 +87,9 @@ let save path y =
   close_out oc;
   Sys.rename tmp path
 
-let load path =
+let load ?strict path =
   let ic = open_in path in
   let n = in_channel_length ic in
   let s = really_input_string ic n in
   close_in ic;
-  of_string ~path s
+  of_string ~path ?strict s

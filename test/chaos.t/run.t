@@ -1,0 +1,81 @@
+Fault injection is seeded and deterministic: the same --fault-spec on the
+same campaign produces the same faulted file and the same health verdict,
+run after run.
+
+  $ lia_cli gen --kind tree --nodes 60 --seed 4 -o chaos.tb
+  wrote chaos.tb: graph: 60 nodes (52 hosts), 59 edges, 1 beacons, 51 destinations; 51 paths x 59 virtual links
+  $ lia_cli sim --testbed chaos.tb --snapshots 12 --seed 5 -o clean.meas
+  wrote clean.meas: 12 snapshots x 51 paths
+  $ lia_cli sim --testbed chaos.tb --snapshots 12 --seed 5 \
+  >   --fault-spec seed=7,drop=0.1,miss=0.05,oor=0.02,dup=0.1 -o faulty.meas
+  wrote faulty.meas: 10 snapshots x 51 paths
+  fault injection: cells 46 (miss 34, oor 12), dropped 2
+  $ lia_cli sim --testbed chaos.tb --snapshots 12 --seed 5 \
+  >   --fault-spec seed=7,drop=0.1,miss=0.05,oor=0.02,dup=0.1 -o faulty2.meas
+  wrote faulty2.meas: 10 snapshots x 51 paths
+  fault injection: cells 46 (miss 34, oor 12), dropped 2
+  $ cmp faulty.meas faulty2.meas
+
+The explicit empty spec is a no-op: the output file is byte-identical to
+the fault-free campaign.
+
+  $ lia_cli sim --testbed chaos.tb --snapshots 12 --seed 5 --fault-spec none -o none.meas
+  wrote none.meas: 12 snapshots x 51 paths
+  $ cmp clean.meas none.meas
+
+Quarantine-aware inference degrades gracefully on the faulted file: a
+typed health verdict bounds what was lost, the estimates stay finite, and
+the quarantine counters land in the metrics dump.
+
+  $ lia_cli infer --testbed chaos.tb --measurements faulty.meas --top 2 --metrics chaos-metrics.txt
+  learned variances from 9 snapshots
+  health: degraded (kept 9/9 snapshots; 38 missing cells, 10 corrupt cells; pairs used 311/311, min overlap 4; target: 1 missing, 1 corrupt)
+  kept 19 columns, eliminated 40; 9 links above tl = 0.002
+  link   loss rate   variance    verdict    edges
+  24     0.15420     6.981e-03   CONGESTED  24 (intra-AS)
+  2      0.13100     2.088e-03   CONGESTED  2 (intra-AS)
+  $ grep "^quarantine_cells_total\|^lia_degraded_total\|^ingest_dropped_snapshots" chaos-metrics.txt
+  quarantine_cells_total 11
+  ingest_dropped_snapshots 0
+  lia_degraded_total 1
+
+Faults can also be injected at ingest, without rewriting the file. Too
+little usable signal is a refusal, not a wrong answer: exit code 3.
+
+  $ lia_cli infer --testbed chaos.tb --measurements clean.meas --fault-spec seed=3,miss=0.9
+  fault injection: cells 554 (miss 554)
+  health: refused (0 usable learning snapshots after quarantine (need at least 2))
+  [3]
+
+Host churn mid-window degrades; a routing shift (T.1/T.2 violation)
+leaves the cells valid, so the verdict stays clean while the chaos suite
+pins that the estimates remain finite and deterministic.
+
+  $ lia_cli infer --testbed chaos.tb --measurements clean.meas --fault-spec seed=3,churn=2@0.5 | head -2
+  fault injection: churned hosts 2
+  learned variances from 11 snapshots
+
+Strict loading guards every non-quarantine path: a NaN cell in a serving
+file is a one-line file:line diagnostic and exit 2.
+
+  $ { head -1 clean.meas; printf 'nan '; sed -n 2p clean.meas | cut -d' ' -f2-; sed -n 3,13p clean.meas; } > nan.meas
+  $ lia_cli validate --testbed chaos.tb --measurements nan.meas --epsilon 0.01
+  lia_cli: nan.meas:2: missing measurement (NaN) "nan"
+  [2]
+
+  $ lia_cli infer --testbed chaos.tb --measurements clean.meas --snapshots nan.meas
+  lia_cli: nan.meas:2: missing measurement (NaN) "nan"
+  [2]
+
+Fault injection composes with the default diagnosis mode only.
+
+  $ lia_cli infer --testbed chaos.tb --measurements clean.meas --snapshots clean.meas --fault-spec seed=1,miss=0.1
+  lia_cli: --fault-spec is not supported with --snapshots
+  [2]
+
+A malformed spec is rejected by the argument parser.
+
+  $ lia_cli infer --testbed chaos.tb --measurements clean.meas --fault-spec wibble=1 2>&1 | head -3
+  lia_cli: option '--fault-spec': unknown fault key "wibble"
+  Usage: lia_cli infer [OPTION]…
+  Try 'lia_cli infer --help' or 'lia_cli --help' for more information.

@@ -9,6 +9,7 @@ simulate a campaign, run LIA, and audit the deployment.
 
   $ lia_cli infer --testbed run.tb --measurements run.meas --top 4
   learned variances from 11 snapshots
+  health: clean
   kept 29 columns, eliminated 30; 8 links above tl = 0.002
   link   loss rate   variance    verdict    edges
   24     0.15420     5.702e-03   CONGESTED  24 (intra-AS)
@@ -23,6 +24,7 @@ run reproduces the sequential report exactly.
 
   $ lia_cli infer --testbed run.tb --measurements run.meas --top 4 --jobs 2
   learned variances from 11 snapshots
+  health: clean
   kept 29 columns, eliminated 30; 8 links above tl = 0.002
   link   loss rate   variance    verdict    edges
   24     0.15420     5.702e-03   CONGESTED  24 (intra-AS)

@@ -68,13 +68,14 @@ let test_testbed_routing_stable_across_roundtrip () =
 
 let test_measurements_roundtrip () =
   let y =
-    Matrix.init 7 13 (fun l i -> sin (float_of_int ((l * 13) + i)) /. 3.)
+    Matrix.init 7 13 (fun l i ->
+        -.(1.5 +. sin (float_of_int ((l * 13) + i))) /. 3.)
   in
   let y' = Trace_io.of_string (Trace_io.to_string y) in
   Alcotest.(check bool) "exact roundtrip" true (Matrix.approx_equal ~tol:0. y y')
 
 let test_measurements_file_roundtrip () =
-  let y = Matrix.init 3 4 (fun l i -> float_of_int (l - i) *. 0.125) in
+  let y = Matrix.init 3 4 (fun l i -> float_of_int (l - i - 3) *. 0.125) in
   let path = tmp_file ".meas" in
   Trace_io.save path y;
   let y' = Trace_io.load path in
@@ -89,8 +90,37 @@ let test_measurements_malformed () =
   in
   check_fails "empty" "";
   check_fails "bad header" "nonsense 1 2 3\n0.1 0.2\n";
-  check_fails "row count" "netloss-measurements 1 2 2\n0.1 0.2\n";
-  check_fails "column count" "netloss-measurements 1 1 3\n0.1 0.2\n"
+  check_fails "row count" "netloss-measurements 1 2 2\n-0.1 -0.2\n";
+  check_fails "column count" "netloss-measurements 1 1 3\n-0.1 -0.2\n";
+  (* value validation: a measurement is a log success rate, so NaN,
+     non-finite, and positive entries are corrupt under strict loading *)
+  check_fails "nan cell" "netloss-measurements 1 1 2\nnan -0.2\n";
+  check_fails "inf cell" "netloss-measurements 1 1 2\n-0.1 -inf\n";
+  check_fails "positive cell" "netloss-measurements 1 1 2\n-0.1 0.2\n"
+
+let test_measurements_strict_diagnostics () =
+  (* the diagnostic must point at the offending file:line *)
+  match
+    Trace_io.of_string ~path:"faulty.meas"
+      "netloss-measurements 1 2 2\n-0.1 -0.2\nnan -0.4\n"
+  with
+  | _ -> Alcotest.fail "expected failure on NaN cell"
+  | exception Failure msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "diagnostic %S names file:line" msg)
+        true
+        (String.length msg >= 14 && String.sub msg 0 14 = "faulty.meas:3:")
+
+let test_measurements_permissive () =
+  (* ~strict:false lets quarantine-aware ingest read fault-laden files *)
+  let s = "netloss-measurements 1 1 3\nnan 0.5 -0.25\n" in
+  let y = Trace_io.of_string ~strict:false s in
+  Alcotest.(check bool) "nan preserved" true (Float.is_nan (Matrix.get y 0 0));
+  Alcotest.(check (float 0.)) "positive preserved" 0.5 (Matrix.get y 0 1);
+  Alcotest.(check (float 0.)) "valid preserved" (-0.25) (Matrix.get y 0 2);
+  match Trace_io.of_string ~strict:false "netloss-measurements 1 1 2\n-0.1\n" with
+  | _ -> Alcotest.fail "permissive loading must still reject ragged rows"
+  | exception Failure _ -> ()
 
 let test_measurements_preserve_negatives_and_zero () =
   let y = Matrix.of_arrays [| [| -0.5; 0.; -1e-9 |] |] in
@@ -101,7 +131,7 @@ let prop_measurement_roundtrip =
   QCheck.Test.make ~count:50 ~name:"measurement roundtrip is exact"
     QCheck.(
       pair (int_range 1 6)
-        (pair (int_range 1 6) (list_of_size (QCheck.Gen.return 36) (float_range (-10.) 10.))))
+        (pair (int_range 1 6) (list_of_size (QCheck.Gen.return 36) (float_range (-10.) 0.))))
     (fun (m, (np, cells)) ->
       let cells = Array.of_list cells in
       let y = Matrix.init m np (fun l i -> cells.(((l * np) + i) mod 36)) in
@@ -125,6 +155,10 @@ let () =
           Alcotest.test_case "string roundtrip" `Quick test_measurements_roundtrip;
           Alcotest.test_case "file roundtrip" `Quick test_measurements_file_roundtrip;
           Alcotest.test_case "malformed" `Quick test_measurements_malformed;
+          Alcotest.test_case "strict diagnostics" `Quick
+            test_measurements_strict_diagnostics;
+          Alcotest.test_case "permissive loading" `Quick
+            test_measurements_permissive;
           Alcotest.test_case "negatives and zero" `Quick
             test_measurements_preserve_negatives_and_zero;
         ] );

@@ -10,40 +10,10 @@ module Vector = Linalg.Vector
 module Qr = Linalg.Qr
 module Rng = Nstats.Rng
 
-let bits_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
-
-let vec_bits_equal v1 v2 =
-  Array.length v1 = Array.length v2 && Array.for_all2 bits_equal v1 v2
-
-let matrix_bits_equal m1 m2 =
-  Matrix.rows m1 = Matrix.rows m2
-  && Matrix.cols m1 = Matrix.cols m2
-  && begin
-       let ok = ref true in
-       for i = 0 to Matrix.rows m1 - 1 do
-         for j = 0 to Matrix.cols m1 - 1 do
-           if not (bits_equal (Matrix.get m1 i j) (Matrix.get m2 i j)) then
-             ok := false
-         done
-       done;
-       !ok
-     end
-
-(* Random tree (odd seeds: Waxman mesh) + synthetic variances and log
-   measurements; the identities under test are linear-algebraic, so no
-   simulator campaign is needed. *)
-let random_instance seed =
-  let rng = Rng.create seed in
-  let tb =
-    if seed mod 2 = 0 then
-      Topology.Tree_gen.generate rng ~nodes:(30 + (seed mod 80)) ~max_branching:5 ()
-    else Topology.Waxman.generate rng ~nodes:40 ~hosts:(5 + (seed mod 5)) ()
-  in
-  let r = (Topology.Testbed.routing tb).Topology.Routing.matrix in
-  let nc = Sparse.cols r and np = Sparse.rows r in
-  let variances = Array.init nc (fun _ -> Rng.uniform rng 1e-6 1e-2) in
-  let y = Matrix.init (5 + (seed mod 7)) np (fun _ _ -> -.Rng.uniform rng 0. 0.5) in
-  (r, variances, y)
+let bits_equal = Generators.bits_equal
+let vec_bits_equal = Generators.vec_bits_equal
+let matrix_bits_equal = Generators.matrix_bits_equal
+let random_instance = Generators.random_instance
 
 (* The seed implementation of Lia.infer_with_variances, frozen here as the
    oracle: everything recomputed per call, sequential QR. *)
@@ -112,11 +82,7 @@ let prop_solve_batch_matches_solve =
                batch singles)
         [ 1; 2; 4 ])
 
-let random_dense seed =
-  let rng = Rng.create seed in
-  let m = 10 + (seed mod 40) in
-  let n = 3 + (seed mod (max 1 (m - 3))) in
-  Matrix.init m n (fun _ _ -> Rng.uniform rng (-2.) 2.)
+let random_dense = Generators.random_dense
 
 let prop_parallel_qr_jobs_invariant =
   QCheck.Test.make ~count:30

@@ -11,16 +11,7 @@ module Rng = Nstats.Rng
 module Snapshot = Netsim.Snapshot
 module Simulator = Netsim.Simulator
 
-let random_tree_trial seed =
-  let rng = Rng.create seed in
-  let n = 30 + (seed mod 120) in
-  let tb = Topology.Tree_gen.generate rng ~nodes:n ~max_branching:5 () in
-  let red = Topology.Testbed.routing tb in
-  let r = red.Topology.Routing.matrix in
-  let config = Snapshot.default_config Lossmodel.Loss_model.llrd1_calibrated in
-  let run = Simulator.run rng config r ~count:12 in
-  let y_learn, target = Simulator.split_learning run ~learning:11 in
-  (r, y_learn, target)
+let random_tree_trial = Generators.random_tree_trial
 
 (* --- LIA output invariants ------------------------------------------------ *)
 
