@@ -20,6 +20,8 @@ let experiments =
     ("timing-smoke", Timing.run_smoke);
     ("obs-smoke", Timing.run_obs_smoke);
     ("chaos-smoke", Chaos.run_smoke);
+    ("solver-smoke", Solver.run_smoke);
+    ("solver-crossover", Solver.run_crossover);
     ("ablations", Ablations.run);
     ("delay", Ext_delay.run);
     ("baselines", Baselines.run);

@@ -1,0 +1,304 @@
+(* Solver crossover: matrix-free CGLS vs materialized-A solves.
+
+   Phase 1 solves the augmented system A v = sigma_star whose row count
+   is n_p(n_p+1)/2 — the n_p² wall. Three ways through it:
+
+     - dense-qr : materialize A as a dense matrix and run Householder QR
+       (the textbook solve, and the oracle the qcheck suite tests
+       against). O(pairs · n_c²) flops and O(pairs · n_c) memory.
+     - dense    : materialize A sparse and solve the normal equations
+       (the [--solver dense] production path). O(pairs · nnz_row²) work,
+       O(pairs · nnz_row) memory for A itself.
+     - cgls     : never materialize A — matrix-free CGLS over cache-
+       blocked tiles of the routing matrix ([--solver cgls]).
+       O(iters · pairs · path-length) work, O(n_p + n_c) extra memory.
+
+   The sweep times each while affordable, validates cgls against the
+   dense-qr oracle in the full-rank regime (drop-negative off, so
+   Theorem 1 gives a unique minimizer) at 1e-6 relative error, and
+   finishes with the acceptance point: a ≥2000-path overlay that cgls
+   completes end to end while the dense-qr matrix alone would not fit in
+   memory on most hosts. Its JSON lands in BENCH_timing.json under
+   "solver_crossover" (see Timing.run_sweep). *)
+
+module Sparse = Linalg.Sparse
+module VE = Core.Variance_estimator
+module CG = Linalg.Conjugate_gradient
+
+let time_best ~reps f =
+  let best = ref infinity and out = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    let t = Unix.gettimeofday () -. t0 in
+    if t < !best then best := t;
+    out := Some x
+  done;
+  (!best, Option.get !out)
+
+(* worst per-entry relative difference, ignoring entries of [a] below
+   [floor] (a zero reference makes relative error meaningless) *)
+let worst_rel_diff ?(floor = 1e-9) a b =
+  let worst = ref 0. in
+  Array.iteri
+    (fun k x ->
+      if Float.abs x > floor then begin
+        let d = Float.abs (x -. b.(k)) /. Float.abs x in
+        if d > !worst then worst := d
+      end)
+    a;
+  !worst
+
+(* relative L2 error — the standard sketching metric; per-entry worst
+   relative error is meaningless here because near-zero variances make
+   the denominator vanish *)
+let l2_rel_err reference v =
+  let num = ref 0. and den = ref 0. in
+  Array.iteri
+    (fun k x ->
+      let d = v.(k) -. x in
+      num := !num +. (d *. d);
+      den := !den +. (x *. x))
+    reference;
+  sqrt (!num /. Float.max 1e-300 !den)
+
+let make_campaign ~hosts ~snapshots =
+  let rng = Nstats.Rng.create (7100 + hosts) in
+  let tb = Topology.Overlay.planetlab_like rng ~hosts () in
+  let red = Topology.Testbed.routing tb in
+  let r = red.Topology.Routing.matrix in
+  let config =
+    Netsim.Snapshot.default_config Lossmodel.Loss_model.llrd1_calibrated
+  in
+  let run = Netsim.Simulator.run rng config r ~count:(snapshots + 1) in
+  let y_learn, target = Netsim.Simulator.split_learning run ~learning:snapshots in
+  (r, y_learn, target)
+
+(* The parity regime: drop-negative off keeps every row of A, so the
+   system has full column rank (Theorem 1) and both solvers converge to
+   the same unique minimizer; tol 1e-14 puts CGLS well below the 1e-6
+   comparison bound. *)
+let full_rank_mf =
+  {
+    VE.default_matfree_options with
+    VE.tol = 1e-14;
+    mf_drop_negative = false;
+    mf_clamp = false;
+  }
+
+let full_rank_dqr =
+  { VE.method_ = VE.Dense_qr; drop_negative = false; clamp = false }
+
+let rel_err_bound = 1e-6
+
+let crossover ~reps ~snapshots ~hosts_list ~dense_qr_max_paths ~accept_hosts ()
+    =
+  Exp_common.header "solver crossover: matrix-free CGLS vs materialized A";
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf
+    "{\n\
+    \    \"validated_against\": \"dense QR oracle, full-rank regime \
+     (drop_negative off), cgls tol 1e-14\",\n\
+    \    \"rel_err_bound\": %g,\n\
+    \    \"topologies\": [\n"
+    rel_err_bound;
+  Exp_common.row "%-6s %-7s %-9s %-11s %-11s %-9s %-11s %-10s" "hosts" "paths"
+    "pairs" "dense (s)" "cgls (s)" "iters" "dqr (s)" "relerr";
+  (* largest measured dense-qr point, for projecting the acceptance cost *)
+  let dqr_ref = ref None in
+  List.iteri
+    (fun ti hosts ->
+      let r, y_learn, _ = make_campaign ~hosts ~snapshots in
+      let np = Sparse.rows r and nc = Sparse.cols r in
+      let pairs = np * (np + 1) / 2 in
+      let t_cgls, (_, _, stats) =
+        time_best ~reps (fun () -> VE.estimate_matfree_ess ~r ~y:y_learn ())
+      in
+      let t_dense, _ =
+        time_best ~reps (fun () -> VE.estimate ~r ~y:y_learn ())
+      in
+      let dqr =
+        if np <= dense_qr_max_paths then begin
+          let _, (v_mf, _, _) =
+            time_best ~reps:1 (fun () ->
+                VE.estimate_matfree_ess ~options:full_rank_mf ~r ~y:y_learn ())
+          in
+          let t_dqr, v_dqr =
+            time_best ~reps:1 (fun () ->
+                VE.estimate ~options:full_rank_dqr ~r ~y:y_learn ())
+          in
+          let err = worst_rel_diff v_dqr v_mf in
+          if err > rel_err_bound then
+            failwith
+              (Printf.sprintf
+                 "solver crossover: cgls vs dense-qr rel err %.2e > %g at %d \
+                  hosts"
+                 err rel_err_bound hosts);
+          dqr_ref := Some (t_dqr, pairs, nc);
+          Some (t_dqr, err)
+        end
+        else None
+      in
+      (match dqr with
+      | Some (t_dqr, err) ->
+          Exp_common.row "%-6d %-7d %-9d %-11.4f %-11.4f %-9d %-11.2f %-10.1e"
+            hosts np pairs t_dense t_cgls stats.CG.iterations t_dqr err
+      | None ->
+          Exp_common.row "%-6d %-7d %-9d %-11.4f %-11.4f %-9d %-11s %-10s"
+            hosts np pairs t_dense t_cgls stats.CG.iterations "-" "-");
+      if ti > 0 then Buffer.add_string buf ",\n";
+      Printf.bprintf buf
+        "      {\"hosts\": %d, \"paths\": %d, \"links\": %d, \"pairs\": %d, \
+         \"dense_normal_seconds\": %.6f, \"cgls_seconds\": %.6f, \
+         \"cgls_iterations\": %d"
+        hosts np nc pairs t_dense t_cgls stats.CG.iterations;
+      (match dqr with
+      | Some (t_dqr, err) ->
+          Printf.bprintf buf
+            ", \"dense_qr_seconds\": %.6f, \"cgls_vs_dense_qr_rel_err\": %.3e}"
+            t_dqr err
+      | None -> Buffer.add_string buf "}"))
+    hosts_list;
+  Buffer.add_string buf "\n    ],\n";
+  Exp_common.note
+    "dqr measured only while the dense A fits comfortably; relerr is cgls vs \
+     the dense-qr oracle in the full-rank regime (bound %.0e)"
+    rel_err_bound;
+  (* --- acceptance: a >= 2000-path overlay, matrix-free only ------------ *)
+  Exp_common.subheader "acceptance point (matrix-free only)";
+  let r, y_learn, target = make_campaign ~hosts:accept_hosts ~snapshots in
+  let np = Sparse.rows r and nc = Sparse.cols r in
+  let pairs = np * (np + 1) / 2 in
+  let t_e2e, result =
+    time_best ~reps:1 (fun () ->
+        Core.Lia.infer ~solver:Core.Lia.default_cgls ~r ~y_learn
+          ~y_now:target.Netsim.Snapshot.y ())
+  in
+  if not (Array.for_all Float.is_finite result.Core.Lia.loss_rates) then
+    failwith "solver crossover: non-finite loss rates at the acceptance point";
+  let dense_a_gb = float_of_int pairs *. float_of_int nc *. 8. /. 1e9 in
+  let projected_dqr_s =
+    (* scale the largest measured dense-qr point by the Householder flop
+       count 2 · rows · cols² *)
+    match !dqr_ref with
+    | None -> Float.nan
+    | Some (t, p0, c0) ->
+        t
+        *. (float_of_int pairs /. float_of_int p0)
+        *. ((float_of_int nc /. float_of_int c0) ** 2.)
+  in
+  Exp_common.row "%-6d %-7d %-9d cgls end-to-end %.2f s" accept_hosts np pairs
+    t_e2e;
+  Exp_common.note
+    "dense-qr there would need a %.1f GB matrix and ~%.0f s (projected); \
+     cgls used O(paths + links) extra memory"
+    dense_a_gb projected_dqr_s;
+  Printf.bprintf buf
+    "    \"acceptance\": {\"hosts\": %d, \"paths\": %d, \"links\": %d, \
+     \"pairs\": %d, \"cgls_end_to_end_seconds\": %.6f, \"dense_qr_projected\": \
+     {\"matrix_gb\": %.1f, \"seconds\": %.1f, \"projected\": true}},\n"
+    accept_hosts np nc pairs t_e2e dense_a_gb projected_dqr_s;
+  (* --- sketch: seeded row subsampling, error vs time ------------------- *)
+  Exp_common.subheader "sketch: seeded row subsampling (error vs time)";
+  let sk_hosts = 24 and sk_seed = 421 in
+  let r, y_learn, _ = make_campaign ~hosts:sk_hosts ~snapshots in
+  let run_fraction fraction =
+    let options =
+      { VE.default_matfree_options with VE.sample = Some (fraction, sk_seed) }
+    in
+    time_best ~reps (fun () ->
+        VE.estimate_matfree_ess ~options ~r ~y:y_learn ())
+  in
+  let _, (v_full, _, _) =
+    time_best ~reps:1 (fun () -> VE.estimate_matfree_ess ~r ~y:y_learn ())
+  in
+  Exp_common.row "%-10s %-11s %-9s %-14s %-12s" "fraction" "seconds" "iters"
+    "l2 relerr" "max relerr";
+  Printf.bprintf buf
+    "    \"sketch\": {\"hosts\": %d, \"seed\": %d, \"fractions\": [" sk_hosts
+    sk_seed;
+  List.iteri
+    (fun fi fraction ->
+      let t, (v, _, stats) = run_fraction fraction in
+      let l2 = l2_rel_err v_full v and worst = worst_rel_diff v_full v in
+      if not (Array.for_all Float.is_finite v) then
+        failwith "solver sketch: non-finite variance estimate";
+      Exp_common.row "%-10.2f %-11.4f %-9d %-14.2e %-12.2e" fraction t
+        stats.CG.iterations l2 worst;
+      if fi > 0 then Buffer.add_string buf ", ";
+      Printf.bprintf buf
+        "{\"fraction\": %.2f, \"seconds\": %.6f, \"iterations\": %d, \
+         \"l2_rel_err_vs_full\": %.3e, \"max_rel_err_vs_full\": %.3e}"
+        fraction t stats.CG.iterations l2 worst)
+    [ 1.0; 0.5; 0.25; 0.1 ];
+  Buffer.add_string buf "]}\n  }";
+  Exp_common.note
+    "sampling keeps a seeded deterministic subset of the pair rows; the \
+     fraction-1.0 row is the exactness check (relerr 0 by construction)";
+  Buffer.contents buf
+
+let run_crossover () =
+  ignore
+    (crossover ~reps:3 ~snapshots:50 ~hosts_list:[ 8; 12; 16; 24; 32 ]
+       ~dense_qr_max_paths:300 ~accept_hosts:46 ())
+
+(* --- solver smoke: wired into the default test tree -------------------- *)
+
+(* Tiny-size assertions that the crossover's claims cannot silently rot:
+   cgls/dense-qr parity in the full-rank regime, bit-for-bit jobs
+   invariance, seeded sketch determinism, and honest non-convergence
+   reporting when the iteration budget is starved. *)
+let run_smoke () =
+  Exp_common.header "solver smoke (matrix-free contracts)";
+  let r, y_learn, target = make_campaign ~hosts:6 ~snapshots:8 in
+  let bits_equal a b =
+    Array.length a = Array.length b
+    && Array.for_all2
+         (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+         a b
+  in
+  (* parity against the dense-qr oracle *)
+  let v_mf, _, stats =
+    VE.estimate_matfree_ess ~options:full_rank_mf ~r ~y:y_learn ()
+  in
+  let v_dqr = VE.estimate ~options:full_rank_dqr ~r ~y:y_learn () in
+  let err = worst_rel_diff v_dqr v_mf in
+  if err > rel_err_bound then
+    failwith (Printf.sprintf "solver-smoke: parity rel err %.2e" err);
+  if not stats.CG.converged then failwith "solver-smoke: cgls did not converge";
+  Exp_common.row "%-34s %.1e" "cgls vs dense-qr rel err" err;
+  (* bit-for-bit jobs invariance *)
+  let v1, _, _ = VE.estimate_matfree_ess ~jobs:1 ~r ~y:y_learn () in
+  let v2, _, _ = VE.estimate_matfree_ess ~jobs:2 ~r ~y:y_learn () in
+  if not (bits_equal v1 v2) then
+    failwith "solver-smoke: jobs=2 differs from jobs=1";
+  Exp_common.row "%-34s %s" "jobs {1,2} invariance" "bit-for-bit";
+  (* seeded sketch determinism *)
+  let sk =
+    { VE.default_matfree_options with VE.sample = Some (0.5, 99) }
+  in
+  let s1, _, _ = VE.estimate_matfree_ess ~options:sk ~r ~y:y_learn () in
+  let s2, _, _ = VE.estimate_matfree_ess ~options:sk ~r ~y:y_learn () in
+  if not (bits_equal s1 s2) then
+    failwith "solver-smoke: sketch not deterministic for a fixed seed";
+  if not (Array.for_all Float.is_finite s1) then
+    failwith "solver-smoke: sketch produced non-finite estimates";
+  Exp_common.row "%-34s %s" "sketch (fraction 0.5, seeded)" "deterministic";
+  (* starved budget: still completes, reports non-convergence *)
+  let starved =
+    { VE.default_matfree_options with VE.max_iter = Some 1 }
+  in
+  let v_starved, _, st = VE.estimate_matfree_ess ~options:starved ~r ~y:y_learn () in
+  if st.CG.converged then failwith "solver-smoke: starved run claims convergence";
+  if not (Array.for_all Float.is_finite v_starved) then
+    failwith "solver-smoke: starved run produced non-finite estimates";
+  Exp_common.row "%-34s iters=%d relres=%.1e" "starved (max_iter=1) reported"
+    st.CG.iterations st.CG.relative_residual;
+  (* the cgls plan backend serves the target snapshot *)
+  let res =
+    Core.Lia.infer ~solver:Core.Lia.default_cgls ~r ~y_learn
+      ~y_now:target.Netsim.Snapshot.y ()
+  in
+  if not (Array.for_all Float.is_finite res.Core.Lia.loss_rates) then
+    failwith "solver-smoke: non-finite loss rates from the cgls backend";
+  Exp_common.note "matrix-free contracts hold end to end"

@@ -239,10 +239,18 @@ let chaos_overhead ~reps ~r ~y_learn ~y_now =
   in
   (t_plain, t_checked)
 
-let sweep ~out ~jobs_list ~reps ~snapshots ~plan_snapshots ~hosts_list () =
+let sweep ?(extra_json = "") ~out ~jobs_list ~reps ~snapshots ~plan_snapshots
+    ~hosts_list () =
   Exp_common.header "multicore jobs sweep (PlanetLab-like overlays)";
   Exp_common.note "host recommended domain count: %d"
     (Domain.recommended_domain_count ());
+  let cpus = Exp_common.host_cpus () in
+  let advisory = cpus <= 1 in
+  if advisory then
+    Exp_common.note
+      "host has %d CPU: jobs-sweep speedups are advisory (they measure \
+       scheduling overhead, not parallelism)"
+      cpus;
   (* spawn every pool up front so domain startup never lands in a timing *)
   List.iter
     (fun jobs -> if jobs > 1 then ignore (Parallel.Pool.get ~jobs))
@@ -256,6 +264,8 @@ let sweep ~out ~jobs_list ~reps ~snapshots ~plan_snapshots ~hosts_list () =
     "  \"generated\": \"dune exec bench/main.exe -- timing-sweep\",\n";
   Printf.bprintf buf "  \"host_recommended_domains\": %d,\n"
     (Domain.recommended_domain_count ());
+  Printf.bprintf buf "  \"host_cpus\": %d,\n" cpus;
+  Printf.bprintf buf "  \"jobs_speedups_advisory\": %b,\n" advisory;
   Printf.bprintf buf "  \"jobs_swept\": [%s],\n"
     (String.concat ", " (List.map string_of_int jobs_list));
   Printf.bprintf buf "  \"topologies\": [\n";
@@ -303,8 +313,9 @@ let sweep ~out ~jobs_list ~reps ~snapshots ~plan_snapshots ~hosts_list () =
               Exp_common.row "%-22s %-6d %-12.4f %-10.2f" name jobs t (t1 /. t);
               if ji > 0 then Buffer.add_string buf ", ";
               Printf.bprintf buf
-                "{\"jobs\": %d, \"seconds\": %.6f, \"speedup_vs_jobs1\": %.3f}"
-                jobs t (t1 /. t))
+                "{\"jobs\": %d, \"seconds\": %.6f, \"speedup_vs_jobs1\": \
+                 %.3f, \"advisory\": %b}"
+                jobs t (t1 /. t) advisory)
             times;
           Buffer.add_string buf "]\n        }")
         (kernels ~r ~y_learn ~a);
@@ -387,6 +398,7 @@ let sweep ~out ~jobs_list ~reps ~snapshots ~plan_snapshots ~hosts_list () =
   Buffer.add_string buf "\n  ],\n";
   Buffer.add_string buf !obs_json;
   Buffer.add_string buf !chaos_json;
+  Buffer.add_string buf extra_json;
   Printf.bprintf buf "  \"solve_per_snapshot_source\": \"%s\"\n}\n"
     "plan_solve_snapshot_seconds histogram (metrics registry)";
   let oc = open_out out in
@@ -395,7 +407,15 @@ let sweep ~out ~jobs_list ~reps ~snapshots ~plan_snapshots ~hosts_list () =
   Exp_common.note "wrote %s" out
 
 let run_sweep () =
-  sweep ~out:"BENCH_timing.json" ~jobs_list:[ 1; 2; 4; 8 ] ~reps:3 ~snapshots:50
+  (* the solver crossover runs first so its JSON section rides along in
+     the same BENCH_timing.json *)
+  let solver_json =
+    Solver.crossover ~reps:3 ~snapshots:50 ~hosts_list:[ 8; 12; 16; 24; 32 ]
+      ~dense_qr_max_paths:300 ~accept_hosts:46 ()
+  in
+  sweep
+    ~extra_json:(Printf.sprintf "  \"solver_crossover\": %s,\n" solver_json)
+    ~out:"BENCH_timing.json" ~jobs_list:[ 1; 2; 4; 8 ] ~reps:3 ~snapshots:50
     ~plan_snapshots:100 ~hosts_list:[ 12; 20; 32 ] ()
 
 (* tiny sizes, wired into the [bench-smoke] dune alias (and through it into

@@ -68,6 +68,44 @@ let jobs_arg =
            bit-for-bit identical for every value; $(b,--jobs 1) disables the \
            pool.")
 
+(* --- solver selection --------------------------------------------------- *)
+
+let solver_arg =
+  let choices = [ ("auto", `Auto); ("dense", `Dense); ("cgls", `Cgls) ] in
+  Arg.(
+    value
+    & opt (enum choices) `Auto
+    & info [ "solver" ] ~docv:"S"
+        ~doc:
+          "Linear-algebra path: $(b,dense) materializes the systems and \
+           factorizes (exact; fastest on small and medium testbeds), \
+           $(b,cgls) is matrix-free iterative (memory stays near the \
+           non-zeros; the only path that scales past a few thousand paths). \
+           $(b,auto) (default) currently means $(b,dense).")
+
+let cgls_tol_arg =
+  Arg.(
+    value & opt float 1e-10
+    & info [ "cgls-tol" ] ~docv:"TOL"
+        ~doc:"CGLS relative tolerance on the normal-equations residual.")
+
+let cgls_max_iter_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "cgls-max-iter" ] ~docv:"N"
+        ~doc:"CGLS iteration cap; $(b,0) (default) means twice the unknowns.")
+
+let solver_of ~solver ~cgls_tol ~cgls_max_iter =
+  match solver with
+  | `Auto | `Dense -> Core.Lia.Dense
+  | `Cgls ->
+      Core.Lia.Cgls
+        {
+          tol = cgls_tol;
+          max_iter = (if cgls_max_iter <= 0 then None else Some cgls_max_iter);
+          sample = None;
+        }
+
 (* --- telemetry (lib/obs) ---------------------------------------------- *)
 
 type obs_config = {
@@ -337,9 +375,11 @@ let infer_cmd =
              solve each snapshot row of $(i,FILE) through it (one line per \
              snapshot instead of the full link table).")
   in
-  let run testbed measurements snapshots fault_spec threshold top jobs obs_cfg =
+  let run testbed measurements snapshots fault_spec threshold top jobs solver
+      cgls_tol cgls_max_iter obs_cfg =
     with_obs obs_cfg @@ fun () ->
     let log = Obs.Logger.default in
+    let solver = solver_of ~solver ~cgls_tol ~cgls_max_iter in
     let tb = Topology.Serial.load testbed in
     let red = routing_of_testbed tb in
     let r = red.Topology.Routing.matrix in
@@ -370,7 +410,7 @@ let infer_cmd =
           failwith "need at least 3 snapshots (m >= 2 learning + 1 target)";
         let y_learn = Matrix.init m (Matrix.cols y) (fun l i -> Matrix.get y l i) in
         let y_now = Matrix.row y m in
-        let checked = Core.Lia.infer_checked ~jobs ~r ~y_learn ~y_now () in
+        let checked = Core.Lia.infer_checked ~solver ~jobs ~r ~y_learn ~y_now () in
         (match checked.Core.Lia.result with
         | None ->
             Printf.printf "health: %s\n"
@@ -393,10 +433,41 @@ let infer_cmd =
           failwith "measurement width does not match the testbed's path count";
         if Matrix.rows y < 2 then
           failwith "need at least 2 learning snapshots to learn variances";
-        let variances = Core.Variance_estimator.estimate ~jobs ~r ~y () in
+        let variances =
+          match solver with
+          | Core.Lia.Dense -> Core.Variance_estimator.estimate ~jobs ~r ~y ()
+          | Core.Lia.Cgls { tol; max_iter; sample } ->
+              let options =
+                {
+                  Core.Variance_estimator.default_matfree_options with
+                  Core.Variance_estimator.tol;
+                  max_iter;
+                  sample;
+                }
+              in
+              let v, _, stats =
+                Core.Variance_estimator.estimate_matfree_ess ~options ~jobs ~r
+                  ~y ()
+              in
+              Obs.Logger.info log "matrix-free phase 1 converged"
+                ~fields:
+                  [
+                    ( "iterations",
+                      Obs.Field.Int stats.Linalg.Conjugate_gradient.iterations );
+                    ( "relative_residual",
+                      Obs.Field.Float
+                        stats.Linalg.Conjugate_gradient.relative_residual );
+                  ];
+              v
+        in
         Obs.Logger.info log "learned variances"
           ~fields:[ ("snapshots", Obs.Field.Int (Matrix.rows y)) ];
-        let plan = Core.Lia.Plan.make ~jobs ~r ~variances () in
+        let backend =
+          match solver with
+          | Core.Lia.Dense -> Core.Plan.Dense_qr
+          | Core.Lia.Cgls { tol; max_iter; _ } -> Core.Plan.Cgls { tol; max_iter }
+        in
+        let plan = Core.Lia.Plan.make ~jobs ~backend ~r ~variances () in
         Obs.Logger.info log "built inference plan"
           ~fields:
             [
@@ -430,7 +501,8 @@ let infer_cmd =
   let term =
     Term.(
       const run $ testbed_arg $ measurements_arg $ snapshots_arg $ fault_spec_arg
-      $ threshold $ top $ jobs_arg $ obs_term)
+      $ threshold $ top $ jobs_arg $ solver_arg $ cgls_tol_arg $ cgls_max_iter_arg
+      $ obs_term)
   in
   Cmd.v
     (Cmd.info "infer"

@@ -40,6 +40,174 @@ let build ?jobs r =
              else Sparse.row_product (Sparse.row r i) (Sparse.row r j))));
   Sparse.create ~cols:nc rows
 
+(* --- matrix-free operator ----------------------------------------------- *)
+
+(* Band width of the 2-D pair tiles: a band of CSR rows is a few KB, so a
+   tile's j-band stays hot in cache while i walks its own band instead of
+   re-streaming the whole matrix once per i as the flat pair order does. *)
+let tile_rows = 256
+
+let matfree ?jobs ?mask r =
+  let np = Sparse.rows r in
+  let nc = Sparse.cols r in
+  let nrows = row_count ~np in
+  (match mask with
+  | Some m when Bytes.length m <> nrows ->
+      invalid_arg "Augmented.matfree: mask length mismatch"
+  | _ -> ());
+  let csr = Sparse.to_csr r in
+  let ptr = csr.Sparse.ptr and idx = csr.Sparse.idx in
+  let live =
+    match mask with
+    | None -> fun _ -> true
+    | Some m -> fun k -> Bytes.unsafe_get m k <> '\000'
+  in
+  let ntiles = Parallel.Chunk.tile_count ~tile:tile_rows ~np in
+  let blocks = Parallel.Chunk.block_count ~min_block:1 ntiles in
+  (* Both products visit each tile's pairs as (i, j) with j inner; the
+     flat row index k advances by one as j does, so row_index runs once
+     per (tile, i). Every k belongs to exactly one tile, hence exactly
+     one block: apply is trivially jobs-invariant, and apply_t merges
+     its per-block partials in block index order below. *)
+  let apply v =
+    if Array.length v <> nc then
+      invalid_arg "Augmented.matfree: apply dimension mismatch";
+    let y = Array.make nrows 0. in
+    Parallel.Pool.for_blocks ?jobs blocks (fun bk ->
+        let tlo, thi = Parallel.Chunk.range ~blocks ~n:ntiles bk in
+        for t = tlo to thi - 1 do
+          let (ilo, ihi), (jlo, jhi) =
+            Parallel.Chunk.tile_bounds ~tile:tile_rows ~np t
+          in
+          for i = ilo to ihi - 1 do
+            let si = Bigarray.Array1.unsafe_get ptr i in
+            let ei = Bigarray.Array1.unsafe_get ptr (i + 1) in
+            let j0 = if jlo <= i then i else jlo in
+            let k = ref (row_index ~np ~i ~j:j0) in
+            for j = j0 to jhi - 1 do
+              (if live !k then begin
+                 let acc = ref 0. in
+                 if j = i then
+                   for a = si to ei - 1 do
+                     acc :=
+                       !acc
+                       +. Array.unsafe_get v (Bigarray.Array1.unsafe_get idx a)
+                   done
+                 else begin
+                   let a = ref si in
+                   let b = ref (Bigarray.Array1.unsafe_get ptr j) in
+                   let eb = Bigarray.Array1.unsafe_get ptr (j + 1) in
+                   while !a < ei && !b < eb do
+                     let ca = Bigarray.Array1.unsafe_get idx !a in
+                     let cb = Bigarray.Array1.unsafe_get idx !b in
+                     if ca = cb then begin
+                       acc := !acc +. Array.unsafe_get v ca;
+                       incr a;
+                       incr b
+                     end
+                     else if ca < cb then incr a
+                     else incr b
+                   done
+                 end;
+                 Array.unsafe_set y !k !acc
+               end);
+              incr k
+            done
+          done
+        done);
+    y
+  in
+  let apply_t w =
+    if Array.length w <> nrows then
+      invalid_arg "Augmented.matfree: apply_t dimension mismatch";
+    let partials = Array.init blocks (fun _ -> Array.make nc 0.) in
+    Parallel.Pool.for_blocks ?jobs blocks (fun bk ->
+        let p = partials.(bk) in
+        let tlo, thi = Parallel.Chunk.range ~blocks ~n:ntiles bk in
+        for t = tlo to thi - 1 do
+          let (ilo, ihi), (jlo, jhi) =
+            Parallel.Chunk.tile_bounds ~tile:tile_rows ~np t
+          in
+          for i = ilo to ihi - 1 do
+            let si = Bigarray.Array1.unsafe_get ptr i in
+            let ei = Bigarray.Array1.unsafe_get ptr (i + 1) in
+            let j0 = if jlo <= i then i else jlo in
+            let k = ref (row_index ~np ~i ~j:j0) in
+            for j = j0 to jhi - 1 do
+              (if live !k then begin
+                 let wk = Array.unsafe_get w !k in
+                 if wk <> 0. then
+                   if j = i then
+                     for a = si to ei - 1 do
+                       let c = Bigarray.Array1.unsafe_get idx a in
+                       Array.unsafe_set p c (Array.unsafe_get p c +. wk)
+                     done
+                   else begin
+                     let a = ref si in
+                     let b = ref (Bigarray.Array1.unsafe_get ptr j) in
+                     let eb = Bigarray.Array1.unsafe_get ptr (j + 1) in
+                     while !a < ei && !b < eb do
+                       let ca = Bigarray.Array1.unsafe_get idx !a in
+                       let cb = Bigarray.Array1.unsafe_get idx !b in
+                       if ca = cb then begin
+                         Array.unsafe_set p ca (Array.unsafe_get p ca +. wk);
+                         incr a;
+                         incr b
+                       end
+                       else if ca < cb then incr a
+                       else incr b
+                     done
+                   end
+               end);
+              incr k
+            done
+          done
+        done);
+    let x = Array.make nc 0. in
+    Array.iter
+      (fun p ->
+        for e = 0 to nc - 1 do
+          x.(e) <- x.(e) +. p.(e)
+        done)
+      partials;
+    x
+  in
+  { Linalg.Lsqr.rows = nrows; cols = nc; apply; apply_t }
+
+let matfree_column_counts ?jobs ?mask r =
+  (* 0/1 entries make diag(AᵀA) the live-row count per column, which is
+     exactly Aᵀ applied to the all-ones vector *)
+  let op = matfree ?jobs ?mask r in
+  op.Linalg.Lsqr.apply_t (Array.make op.Linalg.Lsqr.rows 1.)
+
+let sample_mask ~np ~fraction ~seed =
+  if not (fraction >= 0. && fraction <= 1.) then
+    invalid_arg "Augmented.sample_mask: fraction outside [0, 1]";
+  let n = row_count ~np in
+  let b = Bytes.make n '\000' in
+  (* SplitMix64 of (seed, k): platform-independent, so the same sketch is
+     drawn everywhere and resampling a row never depends on jobs *)
+  let golden = 0x9e3779b97f4a7c15L in
+  let base = Int64.mul (Int64.of_int seed) 0xbf58476d1ce4e5b9L in
+  let scale = Int64.to_float (Int64.shift_left 1L 53) in
+  for k = 0 to n - 1 do
+    let z = Int64.add base (Int64.mul (Int64.of_int (k + 1)) golden) in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xbf58476d1ce4e5b9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94d049bb133111ebL
+    in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    let u =
+      Int64.to_float (Int64.shift_right_logical z 11) /. scale
+    in
+    if u < fraction then Bytes.unsafe_set b k '\001'
+  done;
+  b
+
 let update_rows r ~rows:changed a =
   let np = Sparse.rows r in
   if Sparse.rows a <> row_count ~np || Sparse.cols a <> Sparse.cols r then

@@ -25,6 +25,54 @@ val build : ?jobs:int -> Linalg.Sparse.t -> Linalg.Sparse.t
     (default [Parallel.Pool.default_jobs ()]); each row is produced by
     exactly one block, so the result is identical for every [jobs]. *)
 
+(** {1 Matrix-free operator}
+
+    [build] stores one sparse row per path pair, which is fine to ~10³
+    paths and hopeless at 10⁵ (5·10⁹ rows). The operator below computes
+    the products [v ↦ A v] and [w ↦ Aᵀ w] straight from the routing
+    matrix: a pair row's support is [Ri∗ ⊗ Rj∗], so each product streams
+    over the pair triangle intersecting CSR rows on the fly — O(nnz of
+    [R] work per band sweep, zero per-pair allocation, and memory that
+    never exceeds the vectors themselves. This is what an iterative
+    least-squares solver ({!Linalg.Lsqr.cgls}) needs to solve
+    [Σ* = A v] at path counts where even forming [AᵀA] row-by-row is
+    the bottleneck. *)
+
+val matfree :
+  ?jobs:int -> ?mask:Bytes.t -> Linalg.Sparse.t -> Linalg.Lsqr.operator
+(** [matfree r] is the implicit augmented matrix of [r] as an
+    {!Linalg.Lsqr.operator} ([rows = row_count], [cols = Sparse.cols r]).
+
+    [mask], when given, must have {!row_count} bytes: rows whose byte is
+    ['\000'] are treated as deleted — their product entries are 0 and
+    their adjoint contributions are skipped. This is how the estimator
+    expresses both the paper's drop-negative-covariance rule and the
+    seeded row-sampling sketch without changing the operator shape.
+
+    Both products sweep the pair triangle in cache-blocked 2-D tiles
+    ({!Parallel.Chunk.tile_bounds}) over flat [Bigarray] CSR storage
+    ({!Linalg.Sparse.to_csr}): the tile's [j]-band rows stay hot in
+    cache while [i] walks its band, and no intersection is ever
+    materialized. Tiles are distributed over [jobs] domains in blocks
+    whose count depends only on the problem size; [apply] writes each
+    output entry from exactly one tile and [apply_t] merges per-block
+    private accumulators in block index order, so both products are
+    bit-for-bit identical for every [jobs] value. *)
+
+val matfree_column_counts :
+  ?jobs:int -> ?mask:Bytes.t -> Linalg.Sparse.t -> float array
+(** Diagonal of [AᵀA] for the (masked) implicit matrix: entry [e] counts
+    the live pair rows whose support contains link [e]. Exact integer
+    counts (in floats), one tiled sweep, jobs-invariant. This is the
+    Jacobi preconditioner weight for {!Linalg.Lsqr.scaled_columns}. *)
+
+val sample_mask : np:int -> fraction:float -> seed:int -> Bytes.t
+(** A deterministic row-sampling sketch mask: row [k] is kept iff a
+    SplitMix64 hash of [(seed, k)] falls below [fraction]. The same
+    [(np, fraction, seed)] always selects the same rows, on every
+    platform. [fraction] outside [0, 1] raises [Invalid_argument];
+    [fraction = 1.] keeps every row. *)
+
 val update_rows : Linalg.Sparse.t -> rows:int list -> Linalg.Sparse.t -> Linalg.Sparse.t
 (** [update_rows r ~rows a] recomputes only the augmented rows involving
     the given routing-matrix rows (after a beacon joins/leaves or a route

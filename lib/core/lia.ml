@@ -26,7 +26,33 @@ let m_refused =
   Obs.Metrics.counter Obs.Metrics.default
     ~help:"Health-checked inferences refused" "lia_refused_total"
 
-let infer ?estimator ?jobs ~r ~y_learn ~y_now () =
+type solver =
+  | Dense
+  | Cgls of {
+      tol : float;
+      max_iter : int option;
+      sample : (float * int) option;
+    }
+
+let default_cgls = Cgls { tol = 1e-10; max_iter = None; sample = None }
+
+(* translate a Lia-level solver choice into estimator options + plan
+   backend, folding in the drop-negative/clamp toggles of [?estimator] *)
+let matfree_options_of ?estimator ~tol ~max_iter ~sample () =
+  let base = Variance_estimator.default_matfree_options in
+  let base =
+    match estimator with
+    | None -> base
+    | Some o ->
+        {
+          base with
+          Variance_estimator.mf_drop_negative = o.Variance_estimator.drop_negative;
+          mf_clamp = o.Variance_estimator.clamp;
+        }
+  in
+  { base with Variance_estimator.tol; max_iter; sample }
+
+let infer ?estimator ?(solver = Dense) ?jobs ~r ~y_learn ~y_now () =
   if Matrix.cols y_learn <> Sparse.rows r then
     invalid_arg "Lia: learning matrix width mismatch";
   Obs.Trace.with_span
@@ -38,10 +64,20 @@ let infer ?estimator ?jobs ~r ~y_learn ~y_now () =
       ]
     Obs.Trace.default "lia.infer"
   @@ fun () ->
-  let variances =
-    Variance_estimator.estimate ?options:estimator ?jobs ~r ~y:y_learn ()
-  in
-  Plan.solve (Plan.make ?jobs ~r ~variances ()) y_now
+  match solver with
+  | Dense ->
+      let variances =
+        Variance_estimator.estimate ?options:estimator ?jobs ~r ~y:y_learn ()
+      in
+      Plan.solve (Plan.make ?jobs ~r ~variances ()) y_now
+  | Cgls { tol; max_iter; sample } ->
+      let options = matfree_options_of ?estimator ~tol ~max_iter ~sample () in
+      let variances, _, _ =
+        Variance_estimator.estimate_matfree_ess ~options ?jobs ~r ~y:y_learn ()
+      in
+      Plan.solve
+        (Plan.make ?jobs ~backend:(Plan.Cgls { tol; max_iter }) ~r ~variances ())
+        y_now
 
 let congested result ~threshold =
   Array.map (fun l -> l > threshold) result.loss_rates
@@ -75,7 +111,7 @@ let health_summary = function
         d.ess.Variance_estimator.samples_min d.target_missing d.target_corrupt
   | Refused reason -> Printf.sprintf "refused (%s)" reason
 
-let infer_checked ?jobs ?(min_pair_samples = 2)
+let infer_checked ?(solver = Dense) ?jobs ?(min_pair_samples = 2)
     ?(max_missing_fraction = 0.5) ?(max_skipped_pair_fraction = 0.5) ~r
     ~y_learn ~y_now () =
   if Matrix.cols y_learn <> Sparse.rows r then
@@ -111,10 +147,25 @@ let infer_checked ?jobs ?(min_pair_samples = 2)
     if Array.length tq.Quarantine.valid = 0 then
       refuse "target snapshot has no usable measurements"
     else begin
-      match
-        Variance_estimator.estimate_streaming_ess ?jobs ~min_pair_samples ~r
-          ~y:scrubbed ()
-      with
+      let estimate () =
+        match solver with
+        | Dense ->
+            Variance_estimator.estimate_streaming_ess ?jobs ~min_pair_samples
+              ~r ~y:scrubbed ()
+        | Cgls { tol; max_iter; sample } ->
+            let options =
+              {
+                (matfree_options_of ~tol ~max_iter ~sample ()) with
+                Variance_estimator.mf_min_pair_samples = min_pair_samples;
+              }
+            in
+            let v, ess, _ =
+              Variance_estimator.estimate_matfree_ess ~options ?jobs ~r
+                ~y:scrubbed ()
+            in
+            (v, ess)
+      in
+      match estimate () with
       | exception Failure msg -> refuse "variance estimation failed: %s" msg
       | variances, ess ->
           let open Variance_estimator in
@@ -130,9 +181,14 @@ let infer_checked ?jobs ?(min_pair_samples = 2)
               max_skipped_pair_fraction
           else begin
             let target_clean = Array.length tq.Quarantine.valid = Sparse.rows r in
+            let backend =
+              match solver with
+              | Dense -> Plan.Dense_qr
+              | Cgls { tol; max_iter; _ } -> Plan.Cgls { tol; max_iter }
+            in
             let solve () =
               if target_clean then
-                Plan.solve (Plan.make ?jobs ~r ~variances ()) y_now
+                Plan.solve (Plan.make ?jobs ~backend ~r ~variances ()) y_now
               else begin
                 (* solve Y = R* X* over the valid target paths only; the
                    plan's rank reduction works in the full column space,
@@ -140,7 +196,7 @@ let infer_checked ?jobs ?(min_pair_samples = 2)
                 let rows = tq.Quarantine.valid in
                 let r_sub = Sparse.select_rows r rows in
                 let y_sub = Array.map (fun i -> y_target.(i)) rows in
-                Plan.solve (Plan.make ?jobs ~r:r_sub ~variances ()) y_sub
+                Plan.solve (Plan.make ?jobs ~backend ~r:r_sub ~variances ()) y_sub
               end
             in
             match solve () with

@@ -26,8 +26,32 @@ type result = Plan.result = {
   removed : int array;  (** columns approximated as loss-free *)
 }
 
+(** How both phases solve their linear systems. *)
+type solver =
+  | Dense
+      (** the historical path: streaming normal equations (or the
+          [?estimator] method) for Phase 1, dense Householder QR for
+          Phase 2. Exact, and fastest while the dense panels fit. *)
+  | Cgls of {
+      tol : float;  (** CGLS relative tolerance (1e-10 in {!default_cgls}) *)
+      max_iter : int option;  (** [None] = the CGLS default cap *)
+      sample : (float * int) option;
+          (** optional [(fraction, seed)] row-sampling sketch for
+              Phase 1 ({!Variance_estimator.matfree_options.sample}) *)
+    }
+      (** matrix-free: Phase 1 runs Jacobi-scaled CGLS against the
+          implicit augmented operator ({!Augmented.matfree}), Phase 2
+          solves through the sparse [R*] ({!Plan.backend}). Memory stays
+          O(non-zeros + vectors) — the only path that scales past the
+          n_p² wall — and agrees with [Dense] to solver tolerance on
+          full-rank systems. *)
+
+val default_cgls : solver
+(** [Cgls { tol = 1e-10; max_iter = None; sample = None }]. *)
+
 val infer :
   ?estimator:Variance_estimator.options ->
+  ?solver:solver ->
   ?jobs:int ->
   r:Linalg.Sparse.t ->
   y_learn:Linalg.Matrix.t ->
@@ -37,7 +61,10 @@ val infer :
 (** [infer ~r ~y_learn ~y_now ()]: [y_learn] is the [m × n_p] matrix of
     log path transmission rates of the learning snapshots; [y_now] the
     log measurement of the snapshot to diagnose. Raises
-    [Invalid_argument] on dimension mismatches. [jobs] (default
+    [Invalid_argument] on dimension mismatches. [solver] (default
+    [Dense]) picks the linear-algebra path; under [Cgls] the
+    [?estimator]'s [drop_negative]/[clamp] toggles are honored and its
+    [method_] is ignored. [jobs] (default
     [Parallel.Pool.default_jobs ()]) runs Phase 1's covariance and
     normal-equation kernels and Phase 2's QR on a domain pool; the
     inferred rates are bit-for-bit independent of its value. *)
@@ -88,6 +115,7 @@ type checked = { health : health; result : result option }
     [loss_rates] and [variances] are always finite. *)
 
 val infer_checked :
+  ?solver:solver ->
   ?jobs:int ->
   ?min_pair_samples:int ->
   ?max_missing_fraction:float ->
@@ -111,9 +139,13 @@ val infer_checked :
     - any solver failure or non-finite output becomes [Refused], never
       an exception escape.
 
-    Raises [Invalid_argument] only for dimension mismatches (programming
-    errors, not data faults). Deterministic: same inputs give the same
-    verdict and bit-identical estimates for every [jobs] value. *)
+    [solver] (default [Dense]) picks the linear-algebra path as in
+    {!infer}; the quarantine, effective-sample-size accounting, and
+    verdict rules are identical under both, so [Cgls] changes estimates
+    only within solver tolerance. Raises [Invalid_argument] only for
+    dimension mismatches (programming errors, not data faults).
+    Deterministic: same inputs give the same verdict and bit-identical
+    estimates for every [jobs] value. *)
 
 val health_label : health -> string
 (** ["clean"], ["degraded"], or ["refused"]. *)

@@ -10,13 +10,22 @@ type result = {
   removed : int array;
 }
 
+type backend = Dense_qr | Cgls of { tol : float; max_iter : int option }
+
+(* the factored system behind a plan: a Householder QR of the dense R*,
+   or the sparse R* kept implicit behind CGLS *)
+type fact =
+  | Direct of Qr.t
+  | Iterative of { op : Linalg.Lsqr.operator; tol : float; max_iter : int option }
+
 type t = {
   np : int;
   nc : int;
   variances : float array;
   kept : int array;
   removed : int array;
-  fact : Qr.t;
+  backend : backend;
+  fact : fact;
 }
 
 let m_build =
@@ -39,7 +48,14 @@ let g_deleted =
     ~help:"Columns eliminated by the most recent plan build"
     "plan_deleted_columns"
 
-let make ?jobs ~r ~variances () =
+(* same counter the matrix-free phase-1 estimator registers; the registry
+   returns the existing metric for a same-typed name *)
+let m_cgls_iters =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"CGLS iterations run by the matrix-free phase-1 solver"
+    "lia_cgls_iterations"
+
+let make ?jobs ?(backend = Dense_qr) ~r ~variances () =
   let nc = Sparse.cols r and np = Sparse.rows r in
   if Array.length variances <> nc then
     invalid_arg "Lia: variance length mismatch";
@@ -48,11 +64,18 @@ let make ?jobs ~r ~variances () =
     "plan.build"
   @@ fun () ->
   let { Rank_reduction.kept; removed } = Rank_reduction.eliminate r variances in
-  let r_star = Sparse.dense_cols r kept in
-  let fact = Qr.factorize ?jobs r_star in
+  let fact =
+    match backend with
+    | Dense_qr -> Direct (Qr.factorize ?jobs (Sparse.dense_cols r kept))
+    | Cgls { tol; max_iter } ->
+        (* columns renumbered in kept order, so solutions index like the
+           QR path's *)
+        let r_star = Sparse.select_cols r kept in
+        Iterative { op = Linalg.Lsqr.of_sparse r_star; tol; max_iter }
+  in
   Obs.Metrics.set g_rank (float_of_int (Array.length kept));
   Obs.Metrics.set g_deleted (float_of_int (Array.length removed));
-  { np; nc; variances = Array.copy variances; kept; removed; fact }
+  { np; nc; variances = Array.copy variances; kept; removed; backend; fact }
 
 let paths p = p.np
 
@@ -65,6 +88,8 @@ let kept p = Array.copy p.kept
 let removed p = Array.copy p.removed
 
 let variances p = Array.copy p.variances
+
+let backend p = p.backend
 
 let result_of_x p x_star =
   let transmission = Array.make p.nc 1. in
@@ -82,10 +107,18 @@ let result_of_x p x_star =
     removed = Array.copy p.removed;
   }
 
+let least_squares_x p y_now =
+  match p.fact with
+  | Direct fact -> Qr.least_squares fact y_now
+  | Iterative { op; tol; max_iter } ->
+      let x, stats = Linalg.Lsqr.cgls ~tol ?max_iter op y_now in
+      Obs.Metrics.add m_cgls_iters stats.Linalg.Conjugate_gradient.iterations;
+      x
+
 let solve p y_now =
   if Array.length y_now <> p.np then invalid_arg "Lia: measurement length mismatch";
   Obs.Probe.kernel ~hist:m_solve "plan.solve" @@ fun () ->
-  result_of_x p (Qr.least_squares p.fact y_now)
+  result_of_x p (least_squares_x p y_now)
 
 let solve_batch ?jobs p y =
   if Matrix.cols y <> p.np then invalid_arg "Lia: measurement length mismatch";
@@ -97,10 +130,22 @@ let solve_batch ?jobs p y =
   let t0 =
     if Obs.Metrics.enabled Obs.Metrics.default then Obs.Clock.now_ns () else 0L
   in
-  (* one RHS per column: reflectors then sweep all snapshots per pass *)
-  let b = Matrix.transpose y in
-  let x = Qr.least_squares_batch ?jobs p.fact b in
-  let out = Array.init snapshots (fun l -> result_of_x p (Matrix.col x l)) in
+  let out =
+    match p.fact with
+    | Direct fact ->
+        (* one RHS per column: reflectors then sweep all snapshots per pass *)
+        let b = Matrix.transpose y in
+        let x = Qr.least_squares_batch ?jobs fact b in
+        Array.init snapshots (fun l -> result_of_x p (Matrix.col x l))
+    | Iterative _ ->
+        (* snapshots are independent CGLS runs; each output slot is
+           written by exactly one index, so the batch is bit-for-bit
+           [solve] per row for every [jobs] value *)
+        let out = Array.make snapshots (result_of_x p (Array.make (rank p) 0.)) in
+        Parallel.Pool.parallel_for ?jobs ~min_block:1 ~n:snapshots (fun l ->
+            out.(l) <- result_of_x p (least_squares_x p (Matrix.row y l)));
+        out
+  in
   if Obs.Metrics.enabled Obs.Metrics.default && snapshots > 0 then begin
     (* the blocked kernel solves all snapshots in one pass; attribute the
        per-snapshot average to each so the histogram stays per-snapshot *)

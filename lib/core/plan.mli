@@ -43,12 +43,30 @@ type t
 (** An immutable inference plan for one (routing matrix, variances)
     pair. *)
 
-val make : ?jobs:int -> r:Linalg.Sparse.t -> variances:Linalg.Vector.t -> unit -> t
-(** [make ~r ~variances ()] runs rank reduction and factorizes [R*].
-    Raises [Invalid_argument] when [variances] does not have one entry
-    per column of [r]. [jobs] (default [Parallel.Pool.default_jobs ()])
+type backend =
+  | Dense_qr
+      (** materialize the dense [R*] and Householder-factorize it once:
+          O(n_p·k²) build, O(n_p·k) per solve — the right choice whenever
+          the dense [n_p × k] panel fits comfortably in memory *)
+  | Cgls of { tol : float; max_iter : int option }
+      (** keep [R*] sparse and solve each measurement iteratively
+          ({!Linalg.Lsqr.cgls}): O(nnz) build, O(iters · nnz) per solve —
+          memory stays O(nnz), which wins once [n_p · k] panels stop
+          fitting. [max_iter = None] means the CGLS default ([2k]).
+          Iterations feed the [lia_cgls_iterations] counter. *)
+
+val make :
+  ?jobs:int -> ?backend:backend ->
+  r:Linalg.Sparse.t -> variances:Linalg.Vector.t -> unit -> t
+(** [make ~r ~variances ()] runs rank reduction and prepares the solve
+    backend (default {!Dense_qr}; the historical behavior). Raises
+    [Invalid_argument] when [variances] does not have one entry per
+    column of [r]. [jobs] (default [Parallel.Pool.default_jobs ()])
     parallelizes the QR trailing update; the plan is bit-for-bit
     identical for every value. *)
+
+val backend : t -> backend
+(** The backend the plan was built with. *)
 
 val solve : t -> Linalg.Vector.t -> result
 (** [solve p y_now] infers per-link loss rates for one measurement

@@ -99,3 +99,47 @@ val estimate_streaming_ess :
 (** {!estimate_streaming} plus the effective-sample-size report; the
     returned variances are bit-for-bit those of {!estimate_streaming}.
     The [ess] integers are exact and identical for every [jobs] value. *)
+
+(** {1 Matrix-free path}
+
+    {!estimate_streaming} never materializes [A] but still forms the
+    dense [n_c × n_c] Gram matrix and, above all, touches every one of
+    the n_p(n_p+1)/2 pair rows with a per-row allocation. The matrix-free
+    path goes further: the augmented system is solved iteratively
+    ({!Linalg.Lsqr.cgls} over {!Augmented.matfree}) with memory bounded
+    by a handful of length-[n_c] and length-n_p(n_p+1)/2 vectors, which
+    is what survives at path counts where even the streaming Gram
+    assembly is the wall. *)
+
+type matfree_options = {
+  tol : float;  (** CGLS relative tolerance on [‖Aᵀr‖] (default 1e-10) *)
+  max_iter : int option;  (** iteration cap; [None] = [2 · n_c] *)
+  mf_drop_negative : bool;  (** as [options.drop_negative] (default true) *)
+  mf_clamp : bool;  (** as [options.clamp] (default true) *)
+  mf_min_pair_samples : int;  (** as in {!estimate_streaming} (default 2) *)
+  sample : (float * int) option;
+      (** [Some (fraction, seed)] solves over a deterministic row-sampling
+          sketch ({!Augmented.sample_mask}) instead of the full triangle —
+          a speed/accuracy dial for very large systems. [None] (default)
+          uses every row. *)
+}
+
+val default_matfree_options : matfree_options
+
+val estimate_matfree_ess :
+  ?options:matfree_options ->
+  ?jobs:int ->
+  r:Linalg.Sparse.t ->
+  y:Linalg.Matrix.t ->
+  unit ->
+  Linalg.Vector.t * ess * Linalg.Lsqr.stats
+(** The matrix-free estimator: builds the right-hand side [Σ̂*] and a row
+    mask (drop-negative rule, effective-sample-size guard, optional
+    sampling sketch) in one cache-tiled sweep, then runs Jacobi-scaled
+    CGLS against the implicit augmented operator. Solves the same
+    least-squares problem as the streaming path over the same surviving
+    rows, so on full-column-rank systems the minimizer agrees to solver
+    tolerance. The [ess] accounting matches {!estimate_streaming_ess}
+    pair for pair; the CGLS iteration count is added to the
+    [lia_cgls_iterations] counter. Bit-for-bit identical for every
+    [jobs] value. Raises [Invalid_argument] as {!estimate_streaming}. *)

@@ -1,4 +1,24 @@
-type stats = { iterations : int; residual_norm : float }
+type stats = {
+  iterations : int;
+  residual_norm : float;
+  relative_residual : float;
+  converged : bool;
+}
+
+let m_nonconverged =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"Iterative solves (CG, CGLS) that stopped before reaching tolerance"
+    "lia_solver_nonconverged_total"
+
+let note_nonconvergence ~solver ~iterations ~relative_residual =
+  Obs.Metrics.incr m_nonconverged;
+  Obs.Logger.warn Obs.Logger.default "iterative solver stopped before tolerance"
+    ~fields:
+      [
+        ("solver", Obs.Field.Str solver);
+        ("iterations", Obs.Field.Int iterations);
+        ("relative_residual", Obs.Field.Float relative_residual);
+      ]
 
 let solve_matfree ?(tol = 1e-10) ?max_iter ~dim ~mul b =
   if Array.length b <> dim then
@@ -9,10 +29,11 @@ let solve_matfree ?(tol = 1e-10) ?max_iter ~dim ~mul b =
   let r = Vector.copy b in
   let p = Vector.copy b in
   let rs = ref (Vector.dot r r) in
-  let threshold = tol *. Vector.norm2 b in
+  let norm_b = Vector.norm2 b in
+  let threshold = tol *. norm_b in
   let iters = ref 0 in
   let continue_ = ref (sqrt !rs > threshold && threshold >= 0.) in
-  if Vector.norm2 b = 0. then continue_ := false;
+  if norm_b = 0. then continue_ := false;
   while !continue_ && !iters < max_iter do
     incr iters;
     let ap = mul p in
@@ -33,7 +54,12 @@ let solve_matfree ?(tol = 1e-10) ?max_iter ~dim ~mul b =
       rs := rs'
     end
   done;
-  (x, { iterations = !iters; residual_norm = Vector.norm2 r })
+  let residual_norm = Vector.norm2 r in
+  let relative_residual = if norm_b = 0. then 0. else residual_norm /. norm_b in
+  let converged = residual_norm <= threshold in
+  if not converged then
+    note_nonconvergence ~solver:"cg" ~iterations:!iters ~relative_residual;
+  (x, { iterations = !iters; residual_norm; relative_residual; converged })
 
 let solve ?tol ?max_iter m b =
   let n = Matrix.rows m in

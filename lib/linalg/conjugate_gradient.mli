@@ -5,9 +5,23 @@
     wins when the system is large and well-conditioned (the augmented
     Gram matrices of dense measurement campaigns are). Exposed both as a
     dense-matrix solve and as a matrix-free variant taking the
-    matrix-vector product, so callers can keep [AᵀA] implicit. *)
+    matrix-vector product, so callers can keep [AᵀA] implicit. For
+    least-squares systems that should never be squared into a Gram
+    matrix at all, see {!Lsqr}. *)
 
-type stats = { iterations : int; residual_norm : float }
+type stats = {
+  iterations : int;
+  residual_norm : float;  (** final [‖b − M x‖₂] *)
+  relative_residual : float;
+      (** [residual_norm / ‖b‖₂] ([0.] when [b = 0]) — compare against
+          the [tol] the solve was asked for *)
+  converged : bool;
+      (** whether the solve reached [tol] before hitting [max_iter] (or
+          stalling on a non-SPD direction). A [false] here has already
+          been counted in the [lia_solver_nonconverged_total] metric and
+          logged as a warning; callers decide whether to degrade or
+          refuse. *)
+}
 
 val solve :
   ?tol:float ->
@@ -29,3 +43,11 @@ val solve_matfree :
   Vector.t * stats
 (** Matrix-free variant: [mul x] must compute [M x] for the implicit SPD
     matrix [M]. *)
+
+val note_nonconvergence :
+  solver:string -> iterations:int -> relative_residual:float -> unit
+(** Shared non-convergence hook for the iterative solvers ({!Lsqr} uses
+    it too): bumps the [lia_solver_nonconverged_total] counter and emits
+    an {!Obs.Logger} warning naming the solver, so a production run that
+    silently stopped short of tolerance is visible in both the metrics
+    dump and the log stream. *)

@@ -1,0 +1,100 @@
+type operator = {
+  rows : int;
+  cols : int;
+  apply : Vector.t -> Vector.t;
+  apply_t : Vector.t -> Vector.t;
+}
+
+type stats = Conjugate_gradient.stats
+
+let of_sparse m =
+  {
+    rows = Sparse.rows m;
+    cols = Sparse.cols m;
+    apply = (fun x -> Sparse.mul_vec m x);
+    apply_t = (fun y -> Sparse.mul_transpose_vec m y);
+  }
+
+let of_dense m =
+  {
+    rows = Matrix.rows m;
+    cols = Matrix.cols m;
+    apply = (fun x -> Matrix.mul_vec m x);
+    apply_t = (fun y -> Matrix.tmul_vec m y);
+  }
+
+let scaled_columns op w =
+  if Array.length w <> op.cols then
+    invalid_arg "Lsqr.scaled_columns: weight length mismatch";
+  {
+    op with
+    apply = (fun x -> op.apply (Vector.hadamard w x));
+    apply_t = (fun y -> Vector.hadamard w (op.apply_t y));
+  }
+
+(* CGLS in the stabilized two-term form (Björck): one apply and one
+   apply_t per iteration, the normal-equations residual s = Aᵀr carried
+   explicitly so the stopping test costs nothing extra. *)
+let cgls ?(tol = 1e-10) ?max_iter op b =
+  if Array.length b <> op.rows then invalid_arg "Lsqr.cgls: rhs length mismatch";
+  if tol <= 0. then invalid_arg "Lsqr.cgls: non-positive tolerance";
+  let n = op.cols in
+  let max_iter = Option.value max_iter ~default:(max 1 (2 * n)) in
+  let x = Vector.zeros n in
+  let s = op.apply_t b in
+  if Array.length s <> n then invalid_arg "Lsqr.cgls: apply_t dimension mismatch";
+  let gamma0 = Vector.dot s s in
+  if gamma0 = 0. then
+    (* b orthogonal to the range: x = 0 is already the minimizer *)
+    ( x,
+      {
+        Conjugate_gradient.iterations = 0;
+        residual_norm = 0.;
+        relative_residual = 0.;
+        converged = true;
+      } )
+  else begin
+    let threshold = tol *. sqrt gamma0 in
+    let r = Vector.copy b in
+    let p = Vector.copy s in
+    let gamma = ref gamma0 in
+    let iters = ref 0 in
+    let continue_ = ref true in
+    while !continue_ && !iters < max_iter do
+      incr iters;
+      let q = op.apply p in
+      let qq = Vector.dot q q in
+      if qq <= 0. then
+        (* p is in the null space: with the Krylov start this only
+           happens at numerical exhaustion — stop where we are *)
+        continue_ := false
+      else begin
+        let alpha = !gamma /. qq in
+        Vector.axpy alpha p x;
+        Vector.axpy (-.alpha) q r;
+        let s = op.apply_t r in
+        let gamma' = Vector.dot s s in
+        if sqrt gamma' <= threshold then continue_ := false
+        else begin
+          let beta = gamma' /. !gamma in
+          for i = 0 to n - 1 do
+            p.(i) <- s.(i) +. (beta *. p.(i))
+          done
+        end;
+        gamma := gamma'
+      end
+    done;
+    let residual_norm = sqrt !gamma in
+    let relative_residual = residual_norm /. sqrt gamma0 in
+    let converged = residual_norm <= threshold in
+    if not converged then
+      Conjugate_gradient.note_nonconvergence ~solver:"cgls" ~iterations:!iters
+        ~relative_residual;
+    ( x,
+      {
+        Conjugate_gradient.iterations = !iters;
+        residual_norm;
+        relative_residual;
+        converged;
+      } )
+  end

@@ -1,0 +1,61 @@
+(** CGLS — conjugate gradient on least squares, matrix-free.
+
+    Solves [min ‖A x − b‖₂] for an operator given only as the pair of
+    products [x ↦ A x] and [y ↦ Aᵀ y], without ever forming [A] or
+    [AᵀA]. This is the estimator path that breaks the n_p² wall of the
+    augmented system (Definition 1): the matrix has n_p(n_p+1)/2 rows —
+    5·10⁷ at 10⁴ paths — so materializing it (or its Gram matrix, or a
+    dense QR) stops being an option long before the products do. CGLS
+    runs the {!Conjugate_gradient} recurrence on the normal equations
+    implicitly, with the well-known stabilized form that applies [A] and
+    [Aᵀ] once each per iteration and never squares the conditioning.
+
+    In exact arithmetic CGLS and LSQR (Paige–Saunders) produce the same
+    iterates; CGLS is the shorter recurrence and is what this module
+    implements. For full-column-rank systems the limit is the unique
+    least-squares solution; for rank-deficient ones, the minimum-norm
+    solution reachable from the zero start. *)
+
+type operator = {
+  rows : int;  (** rows of the implicit [A] *)
+  cols : int;  (** columns of the implicit [A] *)
+  apply : Vector.t -> Vector.t;  (** [x ↦ A x] ([cols] → [rows]) *)
+  apply_t : Vector.t -> Vector.t;  (** [y ↦ Aᵀ y] ([rows] → [cols]) *)
+}
+(** A matrix seen only through its two products. The products must be
+    linear and mutually transposed; nothing checks this beyond dimension
+    validation. *)
+
+val of_sparse : Sparse.t -> operator
+(** The operator of an explicit sparse 0/1 matrix ({!Sparse.mul_vec} /
+    {!Sparse.mul_transpose_vec}) — the phase-2 backend that solves
+    [Y = R* X*] without densifying [R*]. *)
+
+val of_dense : Matrix.t -> operator
+(** The operator of an explicit dense matrix; for tests and small
+    systems. *)
+
+val scaled_columns : operator -> Vector.t -> operator
+(** [scaled_columns op w] is the operator of [A diag(w)] — the Jacobi
+    (column-norm) right preconditioner. Solve with it, then multiply the
+    solution element-wise by [w] to recover the unscaled unknowns; the
+    minimizer is unchanged in exact arithmetic, but the iteration count
+    drops when column norms are uneven (augmented matrices are: a link's
+    column count ranges from 1 to the number of path pairs crossing
+    it). *)
+
+type stats = Conjugate_gradient.stats
+(** For CGLS, [residual_norm] is [‖Aᵀ(b − A x)‖₂] — the normal-equations
+    residual that is zero exactly at a least-squares minimizer — and
+    [relative_residual] is it divided by [‖Aᵀb‖₂]. *)
+
+val cgls :
+  ?tol:float -> ?max_iter:int -> operator -> Vector.t -> Vector.t * stats
+(** [cgls op b] minimizes [‖A x − b‖₂] from [x₀ = 0]. Stops when
+    [‖Aᵀ(b − A x)‖ ≤ tol · ‖Aᵀ b‖] (default [tol = 1e-10]) or after
+    [max_iter] iterations (default [2 · cols], generous because each
+    iteration is one [apply] + one [apply_t]). Non-convergence is
+    reported through {!Conjugate_gradient.note_nonconvergence} and the
+    returned [stats]. Raises [Invalid_argument] on a length mismatch or
+    non-positive [tol]. Deterministic: the same operator and right-hand
+    side run the same floating-point operations in the same order. *)

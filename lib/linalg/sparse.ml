@@ -81,6 +81,29 @@ let tmul_vec m x =
     m.data;
   y
 
+let mul_transpose_vec = tmul_vec
+
+type int1 = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type csr = { ptr : int1; idx : int1 }
+
+let to_csr m =
+  let ptr = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (m.nrows + 1) in
+  let total = nnz m in
+  let idx = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (max 1 total) in
+  let k = ref 0 in
+  Array.iteri
+    (fun i r ->
+      ptr.{i} <- !k;
+      Array.iter
+        (fun j ->
+          idx.{!k} <- j;
+          incr k)
+        r)
+    m.data;
+  ptr.{m.nrows} <- !k;
+  { ptr; idx }
+
 let column_counts m =
   let c = Array.make m.ncols 0 in
   Array.iter (fun r -> Array.iter (fun j -> c.(j) <- c.(j) + 1) r) m.data;
