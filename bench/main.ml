@@ -22,6 +22,8 @@ let experiments =
     ("chaos-smoke", Chaos.run_smoke);
     ("solver-smoke", Solver.run_smoke);
     ("solver-crossover", Solver.run_crossover);
+    ("precond-crossover", Solver.run_precond_crossover);
+    ("precond-smoke", Solver.run_precond_smoke);
     ("ablations", Ablations.run);
     ("delay", Ext_delay.run);
     ("baselines", Baselines.run);

@@ -407,14 +407,23 @@ let sweep ?(extra_json = "") ~out ~jobs_list ~reps ~snapshots ~plan_snapshots
   Exp_common.note "wrote %s" out
 
 let run_sweep () =
-  (* the solver crossover runs first so its JSON section rides along in
-     the same BENCH_timing.json *)
+  (* the solver and preconditioner crossovers run first so their JSON
+     sections ride along in the same BENCH_timing.json *)
   let solver_json =
     Solver.crossover ~reps:3 ~snapshots:50 ~hosts_list:[ 8; 12; 16; 24; 32 ]
       ~dense_qr_max_paths:300 ~accept_hosts:46 ()
   in
+  let precond_json =
+    Solver.precond_crossover ~reps:3 ~snapshots:50 ~hosts_list:[ 16; 24; 40 ] ()
+  in
+  let warm_json = Solver.warm_start_section ~snapshots:50 ~hosts:24 () in
   sweep
-    ~extra_json:(Printf.sprintf "  \"solver_crossover\": %s,\n" solver_json)
+    ~extra_json:
+      (Printf.sprintf
+         "  \"solver_crossover\": %s,\n\
+         \  \"precond_crossover\": %s,\n\
+         \  \"warm_start\": %s,\n"
+         solver_json precond_json warm_json)
     ~out:"BENCH_timing.json" ~jobs_list:[ 1; 2; 4; 8 ] ~reps:3 ~snapshots:50
     ~plan_snapshots:100 ~hosts_list:[ 12; 20; 32 ] ()
 

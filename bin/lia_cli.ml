@@ -95,7 +95,50 @@ let cgls_max_iter_arg =
     & info [ "cgls-max-iter" ] ~docv:"N"
         ~doc:"CGLS iteration cap; $(b,0) (default) means twice the unknowns.")
 
-let solver_of ~solver ~cgls_tol ~cgls_max_iter =
+(* [--precond] and [--partition] are validated here rather than through
+   a cmdliner enum so an unknown value reports through the standard
+   data-error path (exit 2), like every other semantic failure *)
+let precond_arg =
+  Arg.(
+    value & opt string "jacobi"
+    & info [ "precond" ] ~docv:"P"
+        ~doc:
+          "CGLS preconditioner: $(b,none), $(b,jacobi) (default; column \
+           equalization), or $(b,block-jacobi) (hierarchical: per-partition \
+           Cholesky blocks of the Gram matrix, the AS-sharded solve path). \
+           Ignored by the dense solver.")
+
+let partition_arg =
+  Arg.(
+    value & opt string "as"
+    & info [ "partition" ] ~docv:"SCHEME"
+        ~doc:
+          "Column partition behind $(b,--precond block-jacobi): $(b,as) \
+           (default) groups virtual links by autonomous system, with \
+           AS-boundary links in a border group.")
+
+let precond_spec_of ~precond ~partition ~graph ~red =
+  (* validate the partition scheme up front, even when the chosen
+     preconditioner ends up not consulting it — a typo should never be
+     silently accepted *)
+  if partition <> "as" then
+    failwith
+      (Printf.sprintf "unknown partition scheme %S (expected \"as\")" partition);
+  let groups () =
+    Topology.Partition.group_cols (Topology.Partition.by_as graph red)
+  in
+  match precond with
+  | "none" -> Core.Variance_estimator.Pc_none
+  | "jacobi" -> Core.Variance_estimator.Pc_jacobi
+  | "block-jacobi" -> Core.Variance_estimator.Pc_block_jacobi (groups ())
+  | other ->
+      failwith
+        (Printf.sprintf
+           "unknown preconditioner %S (expected \"none\", \"jacobi\", or \
+            \"block-jacobi\")"
+           other)
+
+let solver_of ~solver ~cgls_tol ~cgls_max_iter ~precond =
   match solver with
   | `Auto | `Dense -> Core.Lia.Dense
   | `Cgls ->
@@ -104,6 +147,7 @@ let solver_of ~solver ~cgls_tol ~cgls_max_iter =
           tol = cgls_tol;
           max_iter = (if cgls_max_iter <= 0 then None else Some cgls_max_iter);
           sample = None;
+          precond;
         }
 
 (* --- telemetry (lib/obs) ---------------------------------------------- *)
@@ -375,14 +419,28 @@ let infer_cmd =
              solve each snapshot row of $(i,FILE) through it (one line per \
              snapshot instead of the full link table).")
   in
+  let warm_start_arg =
+    Arg.(
+      value & flag
+      & info [ "warm-start" ]
+          ~doc:
+            "With $(b,--snapshots) and $(b,--solver cgls): start each \
+             snapshot's CGLS run from the previous snapshot's solution \
+             (sequential chain; saves most iterations when consecutive \
+             snapshots are similar). Results match the cold batch within \
+             solver tolerance.")
+  in
   let run testbed measurements snapshots fault_spec threshold top jobs solver
-      cgls_tol cgls_max_iter obs_cfg =
+      cgls_tol cgls_max_iter precond partition warm_start obs_cfg =
     with_obs obs_cfg @@ fun () ->
     let log = Obs.Logger.default in
-    let solver = solver_of ~solver ~cgls_tol ~cgls_max_iter in
     let tb = Topology.Serial.load testbed in
     let red = routing_of_testbed tb in
     let r = red.Topology.Routing.matrix in
+    let precond =
+      precond_spec_of ~precond ~partition ~graph:tb.Topology.Testbed.graph ~red
+    in
+    let solver = solver_of ~solver ~cgls_tol ~cgls_max_iter ~precond in
     Obs.Logger.info log "loaded testbed"
       ~fields:
         [
@@ -393,6 +451,7 @@ let infer_cmd =
     if jobs < 1 then failwith "--jobs must be at least 1";
     match snapshots with
     | None ->
+        if warm_start then failwith "--warm-start requires --snapshots";
         (* The default diagnosis path is quarantine-aware: it loads
            permissively and reports a typed health verdict, so a file
            written by [sim --fault-spec] (or a ragged real-world
@@ -436,13 +495,14 @@ let infer_cmd =
         let variances =
           match solver with
           | Core.Lia.Dense -> Core.Variance_estimator.estimate ~jobs ~r ~y ()
-          | Core.Lia.Cgls { tol; max_iter; sample } ->
+          | Core.Lia.Cgls { tol; max_iter; sample; precond } ->
               let options =
                 {
                   Core.Variance_estimator.default_matfree_options with
                   Core.Variance_estimator.tol;
                   max_iter;
                   sample;
+                  mf_precond = precond;
                 }
               in
               let v, _, stats =
@@ -465,7 +525,15 @@ let infer_cmd =
         let backend =
           match solver with
           | Core.Lia.Dense -> Core.Plan.Dense_qr
-          | Core.Lia.Cgls { tol; max_iter; _ } -> Core.Plan.Cgls { tol; max_iter }
+          | Core.Lia.Cgls { tol; max_iter; precond; _ } ->
+              (* only the hierarchical preconditioner carries over to the
+                 phase-2 system (mirrors Lia's backend translation) *)
+              let precond =
+                match precond with
+                | Core.Variance_estimator.Pc_block_jacobi _ as p -> p
+                | _ -> Core.Variance_estimator.Pc_none
+              in
+              Core.Plan.Cgls { tol; max_iter; precond }
         in
         let plan = Core.Lia.Plan.make ~jobs ~backend ~r ~variances () in
         Obs.Logger.info log "built inference plan"
@@ -477,7 +545,9 @@ let infer_cmd =
         let ys = Netsim.Trace_io.load file in
         if Matrix.cols ys <> Sparse.rows r then
           failwith "snapshot width does not match the testbed's path count";
-        let results = Core.Lia.Plan.solve_batch ~jobs plan ys in
+        if warm_start && backend = Core.Plan.Dense_qr then
+          failwith "--warm-start requires --solver cgls";
+        let results = Core.Lia.Plan.solve_batch ~jobs ~warm_start plan ys in
         Obs.Logger.info log "served snapshot batch"
           ~fields:[ ("snapshots", Obs.Field.Int (Array.length results)) ];
         Printf.printf "learned variances from %d snapshots\n" (Matrix.rows y);
@@ -502,7 +572,7 @@ let infer_cmd =
     Term.(
       const run $ testbed_arg $ measurements_arg $ snapshots_arg $ fault_spec_arg
       $ threshold $ top $ jobs_arg $ solver_arg $ cgls_tol_arg $ cgls_max_iter_arg
-      $ obs_term)
+      $ precond_arg $ partition_arg $ warm_start_arg $ obs_term)
   in
   Cmd.v
     (Cmd.info "infer"

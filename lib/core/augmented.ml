@@ -180,6 +180,63 @@ let matfree_column_counts ?jobs ?mask r =
   let op = matfree ?jobs ?mask r in
   op.Linalg.Lsqr.apply_t (Array.make op.Linalg.Lsqr.rows 1.)
 
+let gram_blocks ?jobs ?mask r ~groups =
+  let np = Sparse.rows r in
+  let nc = Sparse.cols r in
+  let nrows = row_count ~np in
+  (match mask with
+  | Some m when Bytes.length m <> nrows ->
+      invalid_arg "Augmented.gram_blocks: mask length mismatch"
+  | _ -> ());
+  Array.iter
+    (Array.iter (fun j ->
+         if j < 0 || j >= nc then
+           invalid_arg "Augmented.gram_blocks: column index out of bounds"))
+    groups;
+  let live =
+    match mask with
+    | None -> fun _ -> true
+    | Some m -> fun k -> Bytes.unsafe_get m k <> '\000'
+  in
+  let out = Array.make (Array.length groups) (Linalg.Matrix.zeros 0 0) in
+  (* Restricting a pair row to a column group commutes with the ⊗ of
+     Definition 1: (Ri∗ ⊗ Rj∗)|g = Ri∗|g ⊗ Rj∗|g. So each diagonal Gram
+     block needs only the group-restricted routing rows, and only the
+     paths whose restriction is nonempty can contribute. Every group
+     fills its own matrix from exact integer counts: jobs-invariant. *)
+  Parallel.Pool.parallel_for ?jobs ~min_block:1 ~n:(Array.length groups)
+    (fun gi ->
+      let idx = groups.(gi) in
+      let s = Array.length idx in
+      let rr = Sparse.select_cols r idx in
+      let touch = ref [] in
+      for i = np - 1 downto 0 do
+        if Array.length (Sparse.row rr i) > 0 then touch := i :: !touch
+      done;
+      let touch = Array.of_list !touch in
+      let nt = Array.length touch in
+      let g = Linalg.Matrix.zeros s s in
+      for a = 0 to nt - 1 do
+        let i = touch.(a) in
+        let ri = Sparse.row rr i in
+        for b = a to nt - 1 do
+          let j = touch.(b) in
+          let supp =
+            if i = j then ri else Sparse.row_product ri (Sparse.row rr j)
+          in
+          if Array.length supp > 0 && live (row_index ~np ~i ~j) then
+            Array.iter
+              (fun x ->
+                Array.iter
+                  (fun y ->
+                    Linalg.Matrix.set g x y (Linalg.Matrix.get g x y +. 1.))
+                  supp)
+              supp
+        done
+      done;
+      out.(gi) <- g);
+  out
+
 let sample_mask ~np ~fraction ~seed =
   if not (fraction >= 0. && fraction <= 1.) then
     invalid_arg "Augmented.sample_mask: fraction outside [0, 1]";

@@ -66,6 +66,25 @@ val matfree_column_counts :
     counts (in floats), one tiled sweep, jobs-invariant. This is the
     Jacobi preconditioner weight for {!Linalg.Lsqr.scaled_columns}. *)
 
+val gram_blocks :
+  ?jobs:int ->
+  ?mask:Bytes.t ->
+  Linalg.Sparse.t ->
+  groups:int array array ->
+  Linalg.Matrix.t array
+(** [gram_blocks r ~groups] builds, for each column group, the dense
+    diagonal block [(AᵀA)_{g,g}] of the (masked) implicit augmented
+    matrix's Gram — entry [(a, b)] counts the live pair rows whose
+    support contains both group columns. Because the pair product [⊗]
+    commutes with column restriction, each block is computed from the
+    group-restricted routing rows alone, never touching the other
+    columns: this is the per-AS factorization unit of the hierarchical
+    solve path ({!Linalg.Precond.block_jacobi}). Groups are processed in
+    parallel over [jobs] domains, each writing only its own output slot;
+    entries are exact integer counts, so results are bit-for-bit
+    identical for every [jobs]. [mask] has the same semantics as in
+    {!matfree}. *)
+
 val sample_mask : np:int -> fraction:float -> seed:int -> Bytes.t
 (** A deterministic row-sampling sketch mask: row [k] is kept iff a
     SplitMix64 hash of [(seed, k)] falls below [fraction]. The same

@@ -32,13 +32,21 @@ type solver =
       tol : float;
       max_iter : int option;
       sample : (float * int) option;
+      precond : Variance_estimator.precond_spec;
     }
 
-let default_cgls = Cgls { tol = 1e-10; max_iter = None; sample = None }
+let default_cgls =
+  Cgls
+    {
+      tol = 1e-10;
+      max_iter = None;
+      sample = None;
+      precond = Variance_estimator.Pc_jacobi;
+    }
 
 (* translate a Lia-level solver choice into estimator options + plan
    backend, folding in the drop-negative/clamp toggles of [?estimator] *)
-let matfree_options_of ?estimator ~tol ~max_iter ~sample () =
+let matfree_options_of ?estimator ~tol ~max_iter ~sample ~precond () =
   let base = Variance_estimator.default_matfree_options in
   let base =
     match estimator with
@@ -50,7 +58,16 @@ let matfree_options_of ?estimator ~tol ~max_iter ~sample () =
           mf_clamp = o.Variance_estimator.clamp;
         }
   in
-  { base with Variance_estimator.tol; max_iter; sample }
+  { base with Variance_estimator.tol; max_iter; sample; mf_precond = precond }
+
+(* phase 2 historically ran raw CGLS; only the hierarchical block
+   preconditioner carries over to it (Jacobi would change the bits of
+   every existing cgls run for no structural gain on the small reduced
+   system) *)
+let plan_precond = function
+  | Variance_estimator.Pc_block_jacobi _ as p -> p
+  | Variance_estimator.Pc_none | Variance_estimator.Pc_jacobi ->
+      Variance_estimator.Pc_none
 
 let infer ?estimator ?(solver = Dense) ?jobs ~r ~y_learn ~y_now () =
   if Matrix.cols y_learn <> Sparse.rows r then
@@ -70,13 +87,18 @@ let infer ?estimator ?(solver = Dense) ?jobs ~r ~y_learn ~y_now () =
         Variance_estimator.estimate ?options:estimator ?jobs ~r ~y:y_learn ()
       in
       Plan.solve (Plan.make ?jobs ~r ~variances ()) y_now
-  | Cgls { tol; max_iter; sample } ->
-      let options = matfree_options_of ?estimator ~tol ~max_iter ~sample () in
+  | Cgls { tol; max_iter; sample; precond } ->
+      let options =
+        matfree_options_of ?estimator ~tol ~max_iter ~sample ~precond ()
+      in
       let variances, _, _ =
         Variance_estimator.estimate_matfree_ess ~options ?jobs ~r ~y:y_learn ()
       in
       Plan.solve
-        (Plan.make ?jobs ~backend:(Plan.Cgls { tol; max_iter }) ~r ~variances ())
+        (Plan.make ?jobs
+           ~backend:
+             (Plan.Cgls { tol; max_iter; precond = plan_precond precond })
+           ~r ~variances ())
         y_now
 
 let congested result ~threshold =
@@ -152,10 +174,10 @@ let infer_checked ?(solver = Dense) ?jobs ?(min_pair_samples = 2)
         | Dense ->
             Variance_estimator.estimate_streaming_ess ?jobs ~min_pair_samples
               ~r ~y:scrubbed ()
-        | Cgls { tol; max_iter; sample } ->
+        | Cgls { tol; max_iter; sample; precond } ->
             let options =
               {
-                (matfree_options_of ~tol ~max_iter ~sample ()) with
+                (matfree_options_of ~tol ~max_iter ~sample ~precond ()) with
                 Variance_estimator.mf_min_pair_samples = min_pair_samples;
               }
             in
@@ -184,7 +206,8 @@ let infer_checked ?(solver = Dense) ?jobs ?(min_pair_samples = 2)
             let backend =
               match solver with
               | Dense -> Plan.Dense_qr
-              | Cgls { tol; max_iter; _ } -> Plan.Cgls { tol; max_iter }
+              | Cgls { tol; max_iter; precond; _ } ->
+                  Plan.Cgls { tol; max_iter; precond = plan_precond precond }
             in
             let solve () =
               if target_clean then

@@ -38,8 +38,17 @@ type solver =
       sample : (float * int) option;
           (** optional [(fraction, seed)] row-sampling sketch for
               Phase 1 ({!Variance_estimator.matfree_options.sample}) *)
+      precond : Variance_estimator.precond_spec;
+          (** preconditioner for the Phase-1 augmented solve:
+              [Pc_jacobi] (the {!default_cgls} choice — bit-for-bit the
+              historical Jacobi-scaled path), [Pc_none], or
+              [Pc_block_jacobi groups] for the hierarchical AS-sharded
+              path (groups from {!Topology.Partition.group_cols}).
+              Block-Jacobi also carries over to the Phase-2 plan
+              backend; the other choices leave Phase 2 on the historical
+              raw CGLS. *)
     }
-      (** matrix-free: Phase 1 runs Jacobi-scaled CGLS against the
+      (** matrix-free: Phase 1 runs preconditioned CGLS against the
           implicit augmented operator ({!Augmented.matfree}), Phase 2
           solves through the sparse [R*] ({!Plan.backend}). Memory stays
           O(non-zeros + vectors) — the only path that scales past the
@@ -47,7 +56,8 @@ type solver =
           full-rank systems. *)
 
 val default_cgls : solver
-(** [Cgls { tol = 1e-10; max_iter = None; sample = None }]. *)
+(** [Cgls { tol = 1e-10; max_iter = None; sample = None;
+    precond = Pc_jacobi }]. *)
 
 val infer :
   ?estimator:Variance_estimator.options ->

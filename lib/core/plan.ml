@@ -10,13 +10,25 @@ type result = {
   removed : int array;
 }
 
-type backend = Dense_qr | Cgls of { tol : float; max_iter : int option }
+type backend =
+  | Dense_qr
+  | Cgls of {
+      tol : float;
+      max_iter : int option;
+      precond : Variance_estimator.precond_spec;
+    }
 
 (* the factored system behind a plan: a Householder QR of the dense R*,
-   or the sparse R* kept implicit behind CGLS *)
+   or the sparse R* kept implicit behind CGLS (with an optional
+   preconditioner factored once at plan-build time) *)
 type fact =
   | Direct of Qr.t
-  | Iterative of { op : Linalg.Lsqr.operator; tol : float; max_iter : int option }
+  | Iterative of {
+      op : Linalg.Lsqr.operator;
+      tol : float;
+      max_iter : int option;
+      precond : Linalg.Precond.t option;
+    }
 
 type t = {
   np : int;
@@ -67,11 +79,44 @@ let make ?jobs ?(backend = Dense_qr) ~r ~variances () =
   let fact =
     match backend with
     | Dense_qr -> Direct (Qr.factorize ?jobs (Sparse.dense_cols r kept))
-    | Cgls { tol; max_iter } ->
+    | Cgls { tol; max_iter; precond } ->
         (* columns renumbered in kept order, so solutions index like the
            QR path's *)
         let r_star = Sparse.select_cols r kept in
-        Iterative { op = Linalg.Lsqr.of_sparse r_star; tol; max_iter }
+        let k = Array.length kept in
+        let pc =
+          match precond with
+          | Variance_estimator.Pc_none -> None
+          | Variance_estimator.Pc_jacobi ->
+              let counts =
+                Array.map float_of_int (Sparse.column_counts r_star)
+              in
+              Some (Linalg.Precond.jacobi counts)
+          | Variance_estimator.Pc_block_jacobi groups ->
+              (* groups are in original column numbering; keep only the
+                 surviving columns, renumbered to their kept position *)
+              let pos = Array.make nc (-1) in
+              Array.iteri (fun t j -> pos.(j) <- t) kept;
+              let blocks =
+                Array.to_list groups
+                |> List.filter_map (fun g ->
+                       let local =
+                         Array.of_list
+                           (List.filter_map
+                              (fun j ->
+                                if pos.(j) >= 0 then Some pos.(j) else None)
+                              (Array.to_list g))
+                       in
+                       if Array.length local = 0 then None
+                       else begin
+                         Array.sort Int.compare local;
+                         Some (local, Sparse.gram_block r_star local)
+                       end)
+                |> Array.of_list
+              in
+              Some (Linalg.Precond.block_jacobi ?jobs ~cols:k blocks)
+        in
+        Iterative { op = Linalg.Lsqr.of_sparse r_star; tol; max_iter; precond = pc }
   in
   Obs.Metrics.set g_rank (float_of_int (Array.length kept));
   Obs.Metrics.set g_deleted (float_of_int (Array.length removed));
@@ -107,11 +152,11 @@ let result_of_x p x_star =
     removed = Array.copy p.removed;
   }
 
-let least_squares_x p y_now =
+let least_squares_x ?x0 p y_now =
   match p.fact with
   | Direct fact -> Qr.least_squares fact y_now
-  | Iterative { op; tol; max_iter } ->
-      let x, stats = Linalg.Lsqr.cgls ~tol ?max_iter op y_now in
+  | Iterative { op; tol; max_iter; precond } ->
+      let x, stats = Linalg.Lsqr.cgls ~tol ?max_iter ?x0 ?precond op y_now in
       Obs.Metrics.add m_cgls_iters stats.Linalg.Conjugate_gradient.iterations;
       x
 
@@ -120,7 +165,7 @@ let solve p y_now =
   Obs.Probe.kernel ~hist:m_solve "plan.solve" @@ fun () ->
   result_of_x p (least_squares_x p y_now)
 
-let solve_batch ?jobs p y =
+let solve_batch ?jobs ?(warm_start = false) p y =
   if Matrix.cols y <> p.np then invalid_arg "Lia: measurement length mismatch";
   let snapshots = Matrix.rows y in
   Obs.Trace.with_span
@@ -137,6 +182,20 @@ let solve_batch ?jobs p y =
         let b = Matrix.transpose y in
         let x = Qr.least_squares_batch ?jobs fact b in
         Array.init snapshots (fun l -> result_of_x p (Matrix.col x l))
+    | Iterative _ when warm_start ->
+        (* consecutive snapshots of one deployment differ little, so
+           snapshot k's solution is an excellent start for k+1: the chain
+           is sequential by nature (each start needs the previous
+           solution) and trades the pool fan-out for iteration savings.
+           jobs-invariant trivially — no parallelism to vary. *)
+        let out = Array.make snapshots (result_of_x p (Array.make (rank p) 0.)) in
+        let prev = ref None in
+        for l = 0 to snapshots - 1 do
+          let x = least_squares_x ?x0:!prev p (Matrix.row y l) in
+          prev := Some x;
+          out.(l) <- result_of_x p x
+        done;
+        out
     | Iterative _ ->
         (* snapshots are independent CGLS runs; each output slot is
            written by exactly one index, so the batch is bit-for-bit

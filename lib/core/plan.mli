@@ -48,12 +48,26 @@ type backend =
       (** materialize the dense [R*] and Householder-factorize it once:
           O(n_p·k²) build, O(n_p·k) per solve — the right choice whenever
           the dense [n_p × k] panel fits comfortably in memory *)
-  | Cgls of { tol : float; max_iter : int option }
+  | Cgls of {
+      tol : float;
+      max_iter : int option;
+      precond : Variance_estimator.precond_spec;
+    }
       (** keep [R*] sparse and solve each measurement iteratively
           ({!Linalg.Lsqr.cgls}): O(nnz) build, O(iters · nnz) per solve —
           memory stays O(nnz), which wins once [n_p · k] panels stop
           fitting. [max_iter = None] means the CGLS default ([2k]).
-          Iterations feed the [lia_cgls_iterations] counter. *)
+          Iterations feed the [lia_cgls_iterations] counter.
+
+          [precond] is factored once at [make] time and reused by every
+          solve: [Pc_none] is the historical raw-CGLS behaviour,
+          [Pc_jacobi] equalizes the kept columns' path counts, and
+          [Pc_block_jacobi groups] (groups in {e original} column
+          numbering, e.g. an AS partition) Cholesky-factors each group's
+          [R*ᵀR*] diagonal block independently
+          ({!Linalg.Precond.block_jacobi}); groups are intersected with
+          the kept columns, so rank reduction and the partition
+          compose. *)
 
 val make :
   ?jobs:int -> ?backend:backend ->
@@ -73,10 +87,20 @@ val solve : t -> Linalg.Vector.t -> result
     vector (length = paths of the plan's [r]; raises [Invalid_argument]
     otherwise). *)
 
-val solve_batch : ?jobs:int -> t -> Linalg.Matrix.t -> result array
+val solve_batch :
+  ?jobs:int -> ?warm_start:bool -> t -> Linalg.Matrix.t -> result array
 (** [solve_batch p y] solves every row of the [M × n_p] snapshot matrix
     [y] through the plan in one pool-parallel blocked pass; element [l]
-    of the result is bit-for-bit [solve p (Matrix.row y l)]. *)
+    of the result is bit-for-bit [solve p (Matrix.row y l)].
+
+    [warm_start] (default [false]; {!Cgls} backends only, ignored by
+    {!Dense_qr}) chains the snapshots sequentially, starting each CGLS
+    run from the previous snapshot's solution: consecutive snapshots of
+    one deployment differ by sampling noise, so most iterations vanish.
+    The stopping test still references the cold start's [‖Aᵀb‖], so
+    every snapshot converges at least as tightly as without warm
+    starts — results differ from the cold batch only within solver
+    tolerance. *)
 
 val paths : t -> int
 (** Rows of the plan's routing matrix ([n_p]). *)

@@ -31,6 +31,8 @@ type options = { method_ : method_; drop_negative : bool; clamp : bool }
 
 type ess = { pairs_total : int; pairs_used : int; samples_min : int }
 
+type precond_spec = Pc_none | Pc_jacobi | Pc_block_jacobi of int array array
+
 type matfree_options = {
   tol : float;
   max_iter : int option;
@@ -38,6 +40,7 @@ type matfree_options = {
   mf_clamp : bool;
   mf_min_pair_samples : int;
   sample : (float * int) option;
+  mf_precond : precond_spec;
 }
 
 let default_matfree_options =
@@ -48,6 +51,7 @@ let default_matfree_options =
     mf_clamp = true;
     mf_min_pair_samples = 2;
     sample = None;
+    mf_precond = Pc_jacobi;
   }
 
 let default_options =
@@ -327,18 +331,61 @@ let estimate_matfree_ess ?(options = default_matfree_options) ?jobs ~r ~y () =
           done
         done
       done);
-  let op = Augmented.matfree ?jobs ~mask r in
-  (* Jacobi right preconditioner: equalize the wildly uneven column
-     counts of the augmented matrix (a backbone link appears in almost
-     every pair row, a leaf link in n_p of them) *)
-  let counts = Augmented.matfree_column_counts ?jobs ~mask r in
-  let w = Array.map (fun c -> 1. /. sqrt (Float.max 1. c)) counts in
-  let z, stats =
-    Linalg.Lsqr.cgls ~tol:options.tol ?max_iter:options.max_iter
-      (Linalg.Lsqr.scaled_columns op w)
-      rhs
+  let v, stats =
+    match options.mf_precond with
+    | Pc_none ->
+        Linalg.Lsqr.cgls ~tol:options.tol ?max_iter:options.max_iter
+          (Augmented.matfree ?jobs ~mask r)
+          rhs
+    | Pc_jacobi ->
+        (* Jacobi right preconditioner: equalize the wildly uneven column
+           counts of the augmented matrix (a backbone link appears in
+           almost every pair row, a leaf link in n_p of them). The
+           explicit scaled_columns + w∘z recovery is kept verbatim: it is
+           the historical arithmetic, bit-for-bit. *)
+        let op = Augmented.matfree ?jobs ~mask r in
+        let counts = Augmented.matfree_column_counts ?jobs ~mask r in
+        let w = Array.map (fun c -> 1. /. sqrt (Float.max 1. c)) counts in
+        let z, stats =
+          Linalg.Lsqr.cgls ~tol:options.tol ?max_iter:options.max_iter
+            (Linalg.Lsqr.scaled_columns op w)
+            rhs
+        in
+        (Array.mapi (fun e ze -> w.(e) *. ze) z, stats)
+    | Pc_block_jacobi groups ->
+        (* Hierarchical path: reorder the columns into doubly-bordered
+           block-diagonal form (each group contiguous, border last — the
+           permutation only renumbers columns, so rhs and mask are
+           untouched), factor the per-group Gram blocks independently,
+           and run CGLS on the permuted operator under the block-Jacobi
+           right preconditioner. The solution is scattered back through
+           the same permutation. *)
+        let order = Array.concat (Array.to_list groups) in
+        let rp = Sparse.permute_cols r order in
+        let op = Augmented.matfree ?jobs ~mask rp in
+        let gblocks = Augmented.gram_blocks ?jobs ~mask r ~groups in
+        let blocks =
+          let off = ref 0 in
+          Array.map2
+            (fun idx g ->
+              let s = Array.length idx in
+              let contiguous = Array.init s (fun t -> !off + t) in
+              off := !off + s;
+              (contiguous, g))
+            groups gblocks
+          |> Array.to_list
+          |> List.filter (fun (idx, _) -> Array.length idx > 0)
+          |> Array.of_list
+        in
+        let pc = Linalg.Precond.block_jacobi ?jobs ~cols:nc blocks in
+        let zp, stats =
+          Linalg.Lsqr.cgls ~tol:options.tol ?max_iter:options.max_iter
+            ~precond:pc op rhs
+        in
+        let v = Array.make nc 0. in
+        Array.iteri (fun k j -> v.(j) <- zp.(k)) order;
+        (v, stats)
   in
-  let v = Array.mapi (fun e ze -> w.(e) *. ze) z in
   let v = if options.mf_clamp then Array.map (fun x -> Float.max 0. x) v else v in
   Obs.Metrics.add m_cgls_iters stats.Linalg.Conjugate_gradient.iterations;
   let pairs_total = Array.fold_left ( + ) 0 blk_nonempty in

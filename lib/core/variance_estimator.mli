@@ -111,6 +111,19 @@ val estimate_streaming_ess :
     is what survives at path counts where even the streaming Gram
     assembly is the wall. *)
 
+type precond_spec =
+  | Pc_none  (** raw CGLS, no scaling *)
+  | Pc_jacobi
+      (** column-count equalization — the historical default, bit-for-bit
+          the pre-preconditioner-hook arithmetic *)
+  | Pc_block_jacobi of int array array
+      (** hierarchical block-Jacobi over the given column groups (e.g.
+          {!Topology.Partition.group_cols} of an AS partition): the
+          operator is reordered into doubly-bordered block-diagonal form
+          and each group's Gram block is Cholesky-factored independently
+          ({!Linalg.Precond.block_jacobi}). The groups must partition the
+          columns; the border group rides last. *)
+
 type matfree_options = {
   tol : float;  (** CGLS relative tolerance on [‖Aᵀr‖] (default 1e-10) *)
   max_iter : int option;  (** iteration cap; [None] = [2 · n_c] *)
@@ -122,6 +135,7 @@ type matfree_options = {
           sketch ({!Augmented.sample_mask}) instead of the full triangle —
           a speed/accuracy dial for very large systems. [None] (default)
           uses every row. *)
+  mf_precond : precond_spec;  (** default [Pc_jacobi] *)
 }
 
 val default_matfree_options : matfree_options

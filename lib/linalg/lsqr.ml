@@ -34,35 +34,80 @@ let scaled_columns op w =
 
 (* CGLS in the stabilized two-term form (Björck): one apply and one
    apply_t per iteration, the normal-equations residual s = Aᵀr carried
-   explicitly so the stopping test costs nothing extra. *)
-let cgls ?(tol = 1e-10) ?max_iter op b =
+   explicitly so the stopping test costs nothing extra.
+
+   With [precond] the recurrence runs on à = A C⁻¹ (right
+   preconditioning): every iterate u lives in the preconditioned
+   coordinates and the returned solution is x = C⁻¹ u. With [x0] the
+   start is u₀ = C x₀ instead of 0; the stopping reference stays
+   ‖Ãᵀ b‖ — what the zero start would see — so warming up can only
+   save iterations, never tighten the target. *)
+let cgls ?(tol = 1e-10) ?max_iter ?x0 ?precond op b =
   if Array.length b <> op.rows then invalid_arg "Lsqr.cgls: rhs length mismatch";
   if tol <= 0. then invalid_arg "Lsqr.cgls: non-positive tolerance";
   let n = op.cols in
+  (match precond with
+  | Some p when Precond.cols p <> n ->
+      invalid_arg "Lsqr.cgls: preconditioner dimension mismatch"
+  | _ -> ());
+  let solve_u = match precond with None -> Fun.id | Some p -> Precond.solve p in
+  let solve_t = match precond with None -> Fun.id | Some p -> Precond.solve_t p in
+  let apply u = op.apply (solve_u u) in
+  let apply_t y = solve_t (op.apply_t y) in
   let max_iter = Option.value max_iter ~default:(max 1 (2 * n)) in
-  let x = Vector.zeros n in
-  let s = op.apply_t b in
+  let u, r =
+    match x0 with
+    | None -> (Vector.zeros n, Vector.copy b)
+    | Some x ->
+        if Array.length x <> n then invalid_arg "Lsqr.cgls: x0 length mismatch";
+        let u0 =
+          match precond with None -> Vector.copy x | Some p -> Precond.mul p x
+        in
+        let u0 = if u0 == x then Vector.copy x else u0 in
+        let r = Vector.copy b in
+        Vector.axpy (-1.) (op.apply x) r;
+        (u0, r)
+  in
+  let s = apply_t r in
   if Array.length s <> n then invalid_arg "Lsqr.cgls: apply_t dimension mismatch";
   let gamma0 = Vector.dot s s in
-  if gamma0 = 0. then
-    (* b orthogonal to the range: x = 0 is already the minimizer *)
-    ( x,
-      {
-        Conjugate_gradient.iterations = 0;
-        residual_norm = 0.;
-        relative_residual = 0.;
-        converged = true;
-      } )
+  let ref_norm =
+    match x0 with None -> sqrt gamma0 | Some _ -> Vector.norm2 (apply_t b)
+  in
+  let stats_of ~iterations ~residual_norm ~converged =
+    (* guard the zero-norm reference: 0/0 must read as "already there",
+       never as NaN (pinned by test_linalg's zero-rhs cases) *)
+    let relative_residual =
+      if ref_norm > 0. then residual_norm /. ref_norm else 0.
+    in
+    if not converged then
+      Conjugate_gradient.note_nonconvergence ~solver:"cgls" ~iterations
+        ~relative_residual;
+    {
+      Conjugate_gradient.iterations;
+      residual_norm;
+      relative_residual;
+      converged;
+    }
+  in
+  if ref_norm = 0. then
+    (* Aᵀb = 0: x = 0 zeroes the normal-equations residual exactly, so it
+       is a minimizer no iteration could improve *)
+    (Vector.zeros n, stats_of ~iterations:0 ~residual_norm:0. ~converged:true)
+  else if gamma0 = 0. then
+    (* the start is already a least-squares minimizer (with the zero
+       start: b orthogonal to the range) *)
+    let x = match x0 with None -> Vector.zeros n | Some x -> Vector.copy x in
+    (x, stats_of ~iterations:0 ~residual_norm:0. ~converged:true)
   else begin
-    let threshold = tol *. sqrt gamma0 in
-    let r = Vector.copy b in
+    let threshold = tol *. ref_norm in
     let p = Vector.copy s in
     let gamma = ref gamma0 in
     let iters = ref 0 in
-    let continue_ = ref true in
+    let continue_ = ref (sqrt gamma0 > threshold) in
     while !continue_ && !iters < max_iter do
       incr iters;
-      let q = op.apply p in
+      let q = apply p in
       let qq = Vector.dot q q in
       if qq <= 0. then
         (* p is in the null space: with the Krylov start this only
@@ -70,9 +115,9 @@ let cgls ?(tol = 1e-10) ?max_iter op b =
         continue_ := false
       else begin
         let alpha = !gamma /. qq in
-        Vector.axpy alpha p x;
+        Vector.axpy alpha p u;
         Vector.axpy (-.alpha) q r;
-        let s = op.apply_t r in
+        let s = apply_t r in
         let gamma' = Vector.dot s s in
         if sqrt gamma' <= threshold then continue_ := false
         else begin
@@ -85,16 +130,6 @@ let cgls ?(tol = 1e-10) ?max_iter op b =
       end
     done;
     let residual_norm = sqrt !gamma in
-    let relative_residual = residual_norm /. sqrt gamma0 in
     let converged = residual_norm <= threshold in
-    if not converged then
-      Conjugate_gradient.note_nonconvergence ~solver:"cgls" ~iterations:!iters
-        ~relative_residual;
-    ( x,
-      {
-        Conjugate_gradient.iterations = !iters;
-        residual_norm;
-        relative_residual;
-        converged;
-      } )
+    (solve_u u, stats_of ~iterations:!iters ~residual_norm ~converged)
   end

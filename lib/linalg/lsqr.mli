@@ -50,12 +50,30 @@ type stats = Conjugate_gradient.stats
     [relative_residual] is it divided by [‖Aᵀb‖₂]. *)
 
 val cgls :
-  ?tol:float -> ?max_iter:int -> operator -> Vector.t -> Vector.t * stats
+  ?tol:float ->
+  ?max_iter:int ->
+  ?x0:Vector.t ->
+  ?precond:Precond.t ->
+  operator ->
+  Vector.t ->
+  Vector.t * stats
 (** [cgls op b] minimizes [‖A x − b‖₂] from [x₀ = 0]. Stops when
     [‖Aᵀ(b − A x)‖ ≤ tol · ‖Aᵀ b‖] (default [tol = 1e-10]) or after
     [max_iter] iterations (default [2 · cols], generous because each
     iteration is one [apply] + one [apply_t]). Non-convergence is
     reported through {!Conjugate_gradient.note_nonconvergence} and the
     returned [stats]. Raises [Invalid_argument] on a length mismatch or
-    non-positive [tol]. Deterministic: the same operator and right-hand
-    side run the same floating-point operations in the same order. *)
+    non-positive [tol]. Deterministic: the same operator, right-hand
+    side and options run the same floating-point operations in the same
+    order.
+
+    [x0] warm-starts the iteration — snapshot [k+1] of a batch solve
+    starting from snapshot [k]'s solution. The stopping reference stays
+    [‖Aᵀ b‖] (what the zero start would see), so a warm start can only
+    save iterations, never weaken the target; when [‖Aᵀ b‖ = 0] the
+    result is [x = 0] with a zero (never NaN) [relative_residual].
+
+    [precond] runs the recurrence on the right-preconditioned operator
+    [A C⁻¹] and maps the solution back ([x = C⁻¹ u]); see {!Precond}.
+    Without it the recurrence is untouched — bit-for-bit the historical
+    arithmetic. *)

@@ -156,6 +156,51 @@ let select_cols m idx =
   in
   { nrows = m.nrows; ncols = Array.length idx; data = Array.map remap m.data }
 
+let permute_cols m order =
+  if Array.length order <> m.ncols then
+    invalid_arg "Sparse.permute_cols: order length mismatch";
+  let seen = Array.make m.ncols false in
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= m.ncols then
+        invalid_arg "Sparse.permute_cols: index out of bounds";
+      if seen.(j) then invalid_arg "Sparse.permute_cols: duplicate index";
+      seen.(j) <- true)
+    order;
+  select_cols m order
+
+let gram_block m idx =
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= m.ncols then
+        invalid_arg "Sparse.gram_block: index out of bounds")
+    idx;
+  let s = Array.length idx in
+  let pos = Array.make m.ncols (-1) in
+  Array.iteri (fun t j -> pos.(j) <- t) idx;
+  let g = Matrix.zeros s s in
+  (* entries are exact integer counts; a sequential sweep is already
+     deterministic and the blocks handed here are small *)
+  Array.iter
+    (fun r ->
+      let local = Array.make (Array.length r) 0 in
+      let k = ref 0 in
+      Array.iter
+        (fun j ->
+          if pos.(j) >= 0 then begin
+            local.(!k) <- pos.(j);
+            incr k
+          end)
+        r;
+      for a = 0 to !k - 1 do
+        for b = 0 to !k - 1 do
+          let i, j = (local.(a), local.(b)) in
+          Matrix.set g i j (Matrix.get g i j +. 1.)
+        done
+      done)
+    m.data;
+  g
+
 let cols_index m =
   let counts = column_counts m in
   let out = Array.map (fun c -> Array.make c 0) counts in

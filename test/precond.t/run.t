@@ -1,0 +1,82 @@
+The --precond flag picks the CGLS preconditioner: none (raw), jacobi
+(column scaling, the default), or block-jacobi (per-AS Cholesky blocks
+over the --partition grouping). A transit-stub topology carries real AS
+labels, so the AS partition is non-trivial here.
+
+  $ lia_cli gen --kind transit-stub --hosts 10 --seed 4 -o p.tb
+  wrote p.tb: graph: 226 nodes (10 hosts), 504 edges, 10 beacons, 10 destinations; 90 paths x 36 virtual links
+
+  $ lia_cli sim --testbed p.tb --snapshots 12 --seed 5 -o p.meas
+  wrote p.meas: 12 snapshots x 90 paths
+
+All three preconditioners agree with the dense oracle on the report.
+(The threshold is moved off the default so a link sitting exactly on tl
+cannot let solver-tolerance noise flip its verdict.)
+
+  $ lia_cli infer --testbed p.tb --measurements p.meas --top 4 --threshold 0.01 --solver dense > dense.txt
+  $ lia_cli infer --testbed p.tb --measurements p.meas --top 4 --threshold 0.01 --solver cgls --precond none > pc_none.txt
+  $ lia_cli infer --testbed p.tb --measurements p.meas --top 4 --threshold 0.01 --solver cgls --precond jacobi > pc_jacobi.txt
+  $ lia_cli infer --testbed p.tb --measurements p.meas --top 4 --threshold 0.01 --solver cgls --precond block-jacobi --partition as > pc_block.txt
+  $ diff dense.txt pc_none.txt
+  $ diff dense.txt pc_jacobi.txt
+  $ diff dense.txt pc_block.txt
+  $ cat pc_block.txt
+  learned variances from 11 snapshots
+  health: clean
+  kept 21 columns, eliminated 15; 7 links above tl = 0.01
+  link   loss rate   variance    verdict    edges
+  35     0.20125     1.761e-03   CONGESTED  390 (intra-AS)
+  7      0.18538     2.364e-03   CONGESTED  28 (inter-AS)
+  24     0.17859     2.805e-03   CONGESTED  277,377 (inter-AS)
+  18     0.17646     1.822e-03   CONGESTED  137,140 (intra-AS)
+
+The hierarchical path is bit-for-bit jobs-invariant: the per-AS blocks
+factor independently, so the worker count never reaches the bits.
+
+  $ lia_cli infer --testbed p.tb --measurements p.meas --top 4 --threshold 0.01 --solver cgls --precond block-jacobi --jobs 4 > pc_block4.txt
+  $ diff pc_block.txt pc_block4.txt
+
+Parity survives faulted input: the quarantine-aware checked pipeline
+reaches the same degraded verdict and the same report under either
+solver.
+
+  $ lia_cli sim --testbed p.tb --snapshots 12 --seed 5 --fault-spec "seed=9,miss=0.05,nan=0.02,dup=0.05" -o pf.meas
+  wrote pf.meas: 12 snapshots x 90 paths
+  fault injection: cells 88 (miss 66, nan 22)
+  $ lia_cli infer --testbed p.tb --measurements pf.meas --top 4 --threshold 0.01 --solver dense > f_dense.txt
+  $ lia_cli infer --testbed p.tb --measurements pf.meas --top 4 --threshold 0.01 --solver cgls --precond block-jacobi > f_block.txt
+  $ diff f_dense.txt f_block.txt
+  $ head -2 f_block.txt
+  learned variances from 11 snapshots
+  health: degraded (kept 11/11 snapshots; 81 missing cells, 0 corrupt cells; pairs used 1350/1350, min overlap 6; target: 4 missing, 0 corrupt)
+
+Serving mode accepts the same preconditioner, and --warm-start chains
+the snapshot solves off each other; the stopping rule still references
+the cold start, so the table matches the cold batch.
+
+  $ lia_cli infer --testbed p.tb --measurements p.meas --snapshots p.meas --threshold 0.01 --solver cgls --precond block-jacobi > serve_cold.txt
+  $ lia_cli infer --testbed p.tb --measurements p.meas --snapshots p.meas --threshold 0.01 --solver cgls --precond block-jacobi --warm-start > serve_warm.txt
+  $ diff serve_cold.txt serve_warm.txt
+  $ head -2 serve_warm.txt
+  learned variances from 12 snapshots
+  plan: kept 23 columns, eliminated 13; serving 12 snapshots
+
+Unknown flag values are data errors (exit 2), not silent fallbacks —
+including a bad --partition under a preconditioner that would never
+consult it.
+
+  $ lia_cli infer --testbed p.tb --measurements p.meas --solver cgls --precond ilu
+  lia_cli: unknown preconditioner "ilu" (expected "none", "jacobi", or "block-jacobi")
+  [2]
+  $ lia_cli infer --testbed p.tb --measurements p.meas --solver dense --partition metis
+  lia_cli: unknown partition scheme "metis" (expected "as")
+  [2]
+
+--warm-start only means something for iterative batch serving.
+
+  $ lia_cli infer --testbed p.tb --measurements p.meas --solver cgls --warm-start
+  lia_cli: --warm-start requires --snapshots
+  [2]
+  $ lia_cli infer --testbed p.tb --measurements p.meas --snapshots p.meas --solver dense --warm-start
+  lia_cli: --warm-start requires --solver cgls
+  [2]

@@ -111,6 +111,136 @@ let prop_column_counts_exact =
       done;
       vec_bits_equal expected (Augmented.matfree_column_counts r))
 
+(* --- hierarchical decomposition: AS partition + block preconditioner ---- *)
+
+(* a transit-stub instance carries real AS labels, so the partition has
+   several intra-AS groups plus a border group *)
+let ts_instance seed =
+  let rng = Rng.create seed in
+  let hosts = 5 + (seed mod 5) in
+  let tb = Topology.Transit_stub.generate rng ~hosts () in
+  let red = Topology.Testbed.routing tb in
+  (tb, red)
+
+let ts_campaign seed =
+  let tb, red = ts_instance seed in
+  let r = red.Topology.Routing.matrix in
+  let rng = Rng.create (seed + 101) in
+  let config =
+    Netsim.Snapshot.default_config Lossmodel.Loss_model.llrd1_calibrated
+  in
+  let run = Netsim.Simulator.run rng config r ~count:12 in
+  let y_learn, _ = Netsim.Simulator.split_learning run ~learning:11 in
+  (tb, red, r, y_learn)
+
+let prop_permuted_operator_matches =
+  QCheck.Test.make ~count:20
+    ~name:
+      "Sparse.permute_cols: the AS-permuted augmented operator is the \
+       original up to the column scatter (1e-12)"
+    Generators.seed_arb
+    (fun seed ->
+      let tb, red = ts_instance seed in
+      let r = red.Topology.Routing.matrix in
+      let part = Topology.Partition.by_as tb.Topology.Testbed.graph red in
+      let order = Topology.Partition.order part in
+      let rp = Sparse.permute_cols r order in
+      let op = Augmented.matfree r in
+      let opp = Augmented.matfree rp in
+      let rng = Rng.create (seed + 53) in
+      let v = random_vec rng (Sparse.cols r) in
+      let w = random_vec rng op.Lsqr.rows in
+      (* column k of the permuted operator is column order.(k) of the
+         original, so gathering v gives the same row products *)
+      let vp = Array.map (fun j -> v.(j)) order in
+      let sp = opp.Lsqr.apply_t w in
+      let s_scattered = Array.make (Sparse.cols r) 0. in
+      Array.iteri (fun k j -> s_scattered.(j) <- sp.(k)) order;
+      close ~rtol:1e-12 ~atol:1e-12 (op.Lsqr.apply v) (opp.Lsqr.apply vp)
+      && close ~rtol:1e-12 ~atol:1e-12 (op.Lsqr.apply_t w) s_scattered)
+
+(* dense Gram block of a column subset, for driving Precond.block_jacobi
+   from a dense test matrix *)
+let gram_block_dense m idx =
+  let k = Array.length idx in
+  Matrix.init k k (fun a b ->
+      let s = ref 0. in
+      for i = 0 to Matrix.rows m - 1 do
+        s := !s +. (Matrix.get m i idx.(a) *. Matrix.get m i idx.(b))
+      done;
+      !s)
+
+(* split 0..n-1 into contiguous groups with seeded cut points *)
+let random_groups rng n =
+  let rec cuts acc lo =
+    if lo >= n then List.rev acc
+    else begin
+      let len = 1 + Rng.int rng (max 1 (n / 3)) in
+      let hi = min n (lo + len) in
+      cuts (Array.init (hi - lo) (fun k -> lo + k) :: acc) hi
+    end
+  in
+  Array.of_list (cuts [] 0)
+
+let prop_precond_cgls_matches_qr =
+  QCheck.Test.make ~count:20
+    ~name:
+      "Lsqr.cgls ?precond: jacobi and block-jacobi leave the minimizer on \
+       the dense QR solution"
+    Generators.seed_arb
+    (fun seed ->
+      let m = Generators.random_dense seed in
+      let rng = Rng.create (seed + 59) in
+      let b = random_vec rng (Matrix.rows m) in
+      let exact = Qr.solve m b in
+      let op = Lsqr.of_dense m in
+      let n = op.Lsqr.cols in
+      let counts =
+        Array.init n (fun j ->
+            let s = ref 0. in
+            for i = 0 to Matrix.rows m - 1 do
+              s := !s +. (Matrix.get m i j ** 2.)
+            done;
+            !s)
+      in
+      let groups = random_groups rng n in
+      let blocks = Array.map (fun idx -> (idx, gram_block_dense m idx)) groups in
+      List.for_all
+        (fun pc ->
+          let x, stats = Lsqr.cgls ~tol:1e-13 ~precond:pc op b in
+          stats.Linalg.Conjugate_gradient.converged && close ~rtol:1e-6 exact x)
+        [
+          Linalg.Precond.jacobi counts;
+          Linalg.Precond.block_jacobi ~cols:n blocks;
+        ])
+
+let prop_block_jacobi_jobs_invariant =
+  QCheck.Test.make ~count:8
+    ~name:
+      "Pc_block_jacobi: estimates bit-identical for jobs in {1,2,4} \
+       (transit-stub AS partition)"
+    Generators.seed_arb
+    (fun seed ->
+      let tb, red, r, y_learn = ts_campaign seed in
+      let part = Topology.Partition.by_as tb.Topology.Testbed.graph red in
+      let groups = Topology.Partition.group_cols part in
+      let options =
+        {
+          VE.default_matfree_options with
+          VE.mf_precond = VE.Pc_block_jacobi groups;
+        }
+      in
+      let v1, _, _ =
+        VE.estimate_matfree_ess ~options ~jobs:1 ~r ~y:y_learn ()
+      in
+      List.for_all
+        (fun jobs ->
+          let v, _, _ =
+            VE.estimate_matfree_ess ~options ~jobs ~r ~y:y_learn ()
+          in
+          vec_bits_equal v1 v)
+        [ 2; 4 ])
+
 (* --- tiling covers the triangle exactly once ---------------------------- *)
 
 let test_tile_bounds_cover_triangle () =
@@ -257,7 +387,7 @@ let prop_infer_cgls_matches_dense =
         { VE.default_options with VE.drop_negative = false; clamp = false }
       in
       let solver =
-        Core.Lia.Cgls { tol = 1e-14; max_iter = None; sample = None }
+        Core.Lia.Cgls { tol = 1e-14; max_iter = None; sample = None; precond = Core.Variance_estimator.Pc_jacobi }
       in
       let dense =
         Core.Lia.infer ~estimator ~r ~y_learn ~y_now:target.Netsim.Snapshot.y ()
@@ -310,7 +440,7 @@ let prop_plan_cgls_matches_dense_qr =
       let r, variances, y = Generators.random_instance seed in
       let y_now = Matrix.row y 0 in
       let dense = Core.Plan.solve (Core.Plan.make ~r ~variances ()) y_now in
-      let backend = Core.Plan.Cgls { tol = 1e-12; max_iter = None } in
+      let backend = Core.Plan.Cgls { tol = 1e-12; max_iter = None; precond = Core.Variance_estimator.Pc_none } in
       let plan = Core.Plan.make ~backend ~r ~variances () in
       let it = Core.Plan.solve plan y_now in
       Core.Plan.backend plan = backend
@@ -323,7 +453,7 @@ let prop_plan_cgls_batch_matches_solve =
     Generators.seed_arb
     (fun seed ->
       let r, variances, y = Generators.random_instance seed in
-      let backend = Core.Plan.Cgls { tol = 1e-12; max_iter = None } in
+      let backend = Core.Plan.Cgls { tol = 1e-12; max_iter = None; precond = Core.Variance_estimator.Pc_none } in
       let plan = Core.Plan.make ~backend ~r ~variances () in
       let singles =
         Array.init (Matrix.rows y) (fun l -> Core.Plan.solve plan (Matrix.row y l))
@@ -353,6 +483,30 @@ let test_cgls_nonconvergence_reported () =
     stats.Linalg.Conjugate_gradient.iterations;
   Alcotest.(check bool) "relative residual is positive" true
     (stats.Linalg.Conjugate_gradient.relative_residual > 0.)
+
+(* the nan pin: a zero-norm rhs (or one annihilated by the transpose)
+   historically produced relative_residual = 0/0 = nan; the guard pins
+   the whole stats record to a clean converged zero *)
+let test_cgls_zero_rhs () =
+  let r = routing_of_seed 5 in
+  let op = Lsqr.of_sparse r in
+  let b = Vector.zeros op.Lsqr.rows in
+  let x, stats = Lsqr.cgls op b in
+  Alcotest.(check bool) "solution is exactly zero" true
+    (Array.for_all (fun v -> v = 0.) x);
+  Alcotest.(check int) "no iterations spent" 0
+    stats.Linalg.Conjugate_gradient.iterations;
+  Alcotest.(check bool) "reported converged" true
+    stats.Linalg.Conjugate_gradient.converged;
+  Alcotest.(check (float 0.)) "relative residual pinned to 0, not nan" 0.
+    stats.Linalg.Conjugate_gradient.relative_residual;
+  (* same guard on the warm-started path: x0 must come back unchanged *)
+  let x0 = Array.init op.Lsqr.cols (fun i -> float_of_int i) in
+  let x', stats' = Lsqr.cgls ~x0 op b in
+  Alcotest.(check bool) "warm start over zero rhs returns zeros" true
+    (Array.for_all (fun v -> v = 0.) x');
+  Alcotest.(check bool) "warm-start relative residual is finite" false
+    (Float.is_nan stats'.Linalg.Conjugate_gradient.relative_residual)
 
 let test_sample_mask_fraction () =
   let np = 60 in
@@ -387,6 +541,9 @@ let properties =
       prop_checked_cgls_verdict_parity;
       prop_plan_cgls_matches_dense_qr;
       prop_plan_cgls_batch_matches_solve;
+      prop_permuted_operator_matches;
+      prop_precond_cgls_matches_qr;
+      prop_block_jacobi_jobs_invariant;
     ]
 
 let unit_tests =
@@ -395,6 +552,8 @@ let unit_tests =
       `Quick test_tile_bounds_cover_triangle;
     Alcotest.test_case "cgls reports nonconvergence" `Quick
       test_cgls_nonconvergence_reported;
+    Alcotest.test_case "cgls zero rhs: converged, residual 0, never nan" `Quick
+      test_cgls_zero_rhs;
     Alcotest.test_case "sample_mask is seeded and honours the fraction" `Quick
       test_sample_mask_fraction;
   ]
