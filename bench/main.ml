@@ -19,6 +19,7 @@ let experiments =
     ("timing-sweep", Timing.run_sweep);
     ("timing-smoke", Timing.run_smoke);
     ("obs-smoke", Timing.run_obs_smoke);
+    ("obs2-smoke", Timing.run_obs2_smoke);
     ("chaos-smoke", Chaos.run_smoke);
     ("solver-smoke", Solver.run_smoke);
     ("solver-crossover", Solver.run_crossover);

@@ -239,6 +239,35 @@ let chaos_overhead ~reps ~r ~y_learn ~y_now =
   in
   (t_plain, t_checked)
 
+(* Observability-v2 acceptance: flight recorder + convergence stream +
+   metrics all enabled at once must cost < 2% over all-off on the
+   matrix-free estimator — the kernel whose inner CGLS loop fires the
+   per-iteration probes. Measured on the sweep's largest overlay. *)
+let obs2_overhead ~reps ~r ~y_learn =
+  let reg = Obs.Metrics.default in
+  let kernel () =
+    ignore (Core.Variance_estimator.estimate_matfree_ess ~r ~y:y_learn ())
+  in
+  Obs.Metrics.disable reg;
+  Obs.Recorder.disable Obs.Recorder.default;
+  Obs.Convergence.set_sink Obs.Convergence.default None;
+  kernel ();
+  let t_off = time_best ~reps kernel in
+  Obs.Metrics.reset reg;
+  Obs.Metrics.enable reg;
+  Obs.Recorder.reset Obs.Recorder.default;
+  Obs.Recorder.enable Obs.Recorder.default;
+  Obs.Convergence.set_sink Obs.Convergence.default
+    (Some (Obs.Sink.file Filename.null));
+  kernel ();
+  let t_on = time_best ~reps kernel in
+  Obs.Convergence.set_sink Obs.Convergence.default None;
+  Obs.Recorder.disable Obs.Recorder.default;
+  Obs.Recorder.reset Obs.Recorder.default;
+  Obs.Metrics.disable reg;
+  Obs.Metrics.reset reg;
+  (t_off, t_on)
+
 let sweep ?(extra_json = "") ~out ~jobs_list ~reps ~snapshots ~plan_snapshots
     ~hosts_list () =
   Exp_common.header "multicore jobs sweep (PlanetLab-like overlays)";
@@ -257,6 +286,7 @@ let sweep ?(extra_json = "") ~out ~jobs_list ~reps ~snapshots ~plan_snapshots
     jobs_list;
   let buf = Buffer.create 4096 in
   let obs_json = ref "" in
+  let obs2_json = ref "" in
   let chaos_json = ref "" in
   Buffer.add_string buf "{\n";
   Printf.bprintf buf "  \"bench\": \"lia-parallel-kernels\",\n";
@@ -373,6 +403,27 @@ let sweep ?(extra_json = "") ~out ~jobs_list ~reps ~snapshots ~plan_snapshots
             \    \"target_pct\": 2.0\n\
             \  },\n"
             hosts reps t_off t_on pct;
+        (* observability-v2 overhead on the same overlay: recorder +
+           convergence stream + metrics vs all-off, on the CGLS kernel *)
+        let t2_off, t2_on = obs2_overhead ~reps ~r ~y_learn in
+        let pct2 = 100. *. (t2_on -. t2_off) /. t2_off in
+        Exp_common.note
+          "obs2 overhead (estimate_matfree_ess, %d hosts): disabled %.4f s, \
+           recorder+convergence+metrics %.4f s (%+.2f%%, target < 2%%)"
+          hosts t2_off t2_on pct2;
+        obs2_json :=
+          Printf.sprintf
+            "  \"obs2_overhead\": {\n\
+            \    \"kernel\": \"estimate_matfree_ess\",\n\
+            \    \"enabled\": \"recorder+convergence+metrics\",\n\
+            \    \"hosts\": %d,\n\
+            \    \"reps\": %d,\n\
+            \    \"disabled_seconds\": %.6f,\n\
+            \    \"enabled_seconds\": %.6f,\n\
+            \    \"overhead_pct\": %.3f,\n\
+            \    \"target_pct\": 2.0\n\
+            \  },\n"
+            hosts reps t2_off t2_on pct2;
         (* fault-tolerance overhead on the same overlay: checked vs
            unchecked end-to-end inference on clean input *)
         let t_plain, t_checked = chaos_overhead ~reps ~r ~y_learn ~y_now in
@@ -397,6 +448,7 @@ let sweep ?(extra_json = "") ~out ~jobs_list ~reps ~snapshots ~plan_snapshots
     hosts_list;
   Buffer.add_string buf "\n  ],\n";
   Buffer.add_string buf !obs_json;
+  Buffer.add_string buf !obs2_json;
   Buffer.add_string buf !chaos_json;
   Buffer.add_string buf extra_json;
   Printf.bprintf buf "  \"solve_per_snapshot_source\": \"%s\"\n}\n"
@@ -505,3 +557,93 @@ let run_obs_smoke () =
     (string_of_int (List.length (Obs.Metrics.names reg)));
   Exp_common.row "%-28s %d" "trace event lines" (!n_lines - 1);
   Exp_common.note "registry, tracer, and logger sinks all live; probes fired"
+
+(* Observability-v2 smoke: the flight recorder, the convergence stream,
+   and the report renderer exercised in-process on a starved matrix-free
+   solve, asserting the per-iteration probes fire and the report page
+   renders every section. Wired into the [obs2-smoke] dune alias. *)
+let run_obs2_smoke () =
+  Exp_common.header "observability-v2 smoke (recorder, convergence, report)";
+  let reg = Obs.Metrics.default in
+  let rcd = Obs.Recorder.default in
+  Obs.Metrics.reset reg;
+  Obs.Metrics.enable reg;
+  Obs.Recorder.reset rcd;
+  Obs.Recorder.enable rcd;
+  let conv_sink, conv_lines = Obs.Sink.memory () in
+  Obs.Convergence.set_sink Obs.Convergence.default (Some conv_sink);
+  let rng = Nstats.Rng.create 2209 in
+  let tb = Topology.Overlay.planetlab_like rng ~hosts:10 () in
+  let red = Topology.Testbed.routing tb in
+  let r = red.Topology.Routing.matrix in
+  let config =
+    Netsim.Snapshot.default_config Lossmodel.Loss_model.llrd1_calibrated
+  in
+  let run = Netsim.Simulator.run rng config r ~count:20 in
+  let y_learn, _ = Netsim.Simulator.split_learning run ~learning:19 in
+  let starved =
+    {
+      Core.Variance_estimator.default_matfree_options with
+      Core.Variance_estimator.max_iter = Some 4;
+    }
+  in
+  let _, _, st =
+    Core.Variance_estimator.estimate_matfree_ess ~options:starved ~r
+      ~y:y_learn ()
+  in
+  if st.Linalg.Conjugate_gradient.converged then
+    failwith "obs2-smoke: expected the starved solve not to converge";
+  Obs.Convergence.set_sink Obs.Convergence.default None;
+  let metrics_dump = Obs.Metrics.dump reg in
+  Obs.Metrics.disable reg;
+  let events = Obs.Recorder.events rcd in
+  let count kind =
+    List.length (List.filter (fun e -> e.Obs.Recorder.kind = kind) events)
+  in
+  let iters = count "solver_iter" in
+  if iters < 4 then
+    failwith
+      (Printf.sprintf "obs2-smoke: %d solver_iter events, expected >= 4" iters);
+  if count "solver_done" < 1 then
+    failwith "obs2-smoke: no solver_done event recorded";
+  if count "span_end" < 1 then
+    failwith "obs2-smoke: no span_end event recorded";
+  let conv = conv_lines () in
+  if List.length conv <> iters then
+    failwith
+      (Printf.sprintf
+         "obs2-smoke: %d convergence lines but %d solver_iter events"
+         (List.length conv) iters);
+  List.iter
+    (fun line ->
+      match Obs.Json.of_string_opt line with
+      | None -> failwith ("obs2-smoke: unparseable convergence line: " ^ line)
+      | Some j -> (
+          match Option.bind (Obs.Json.member "relres" j) Obs.Json.to_float_opt with
+          | Some rr when rr >= 0. -> ()
+          | _ -> failwith "obs2-smoke: convergence line without valid relres"))
+    conv;
+  let relres = Obs.Metrics.histogram reg "lia_cgls_relres" in
+  if Obs.Metrics.histogram_count relres <> iters then
+    failwith "obs2-smoke: lia_cgls_relres count does not match iterations";
+  let dump_sink, dump_lines = Obs.Sink.memory () in
+  Obs.Recorder.dump rcd ~reason:"smoke" dump_sink;
+  Obs.Recorder.disable rcd;
+  Obs.Recorder.reset rcd;
+  Obs.Metrics.reset reg;
+  let page =
+    Obs.Report.render
+      ~recorder:(String.concat "\n" (dump_lines ()))
+      ~metrics:metrics_dump
+      ~convergence:(String.concat "\n" conv)
+      ()
+  in
+  List.iter
+    (fun needle ->
+      if not (contains ~needle page) then
+        failwith (Printf.sprintf "obs2-smoke: report misses %S" needle))
+    [ "Per-phase profile"; "Convergence"; "Residual tail"; "Health"; "NO" ];
+  Exp_common.row "%-28s %d" "recorder events" (List.length events);
+  Exp_common.row "%-28s %d" "solver iterations" iters;
+  Exp_common.row "%-28s %d" "convergence lines" (List.length conv);
+  Exp_common.note "recorder, convergence stream, and report all live"

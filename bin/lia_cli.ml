@@ -155,6 +155,8 @@ let solver_of ~solver ~cgls_tol ~cgls_max_iter ~precond =
 type obs_config = {
   trace : string option;
   metrics : string option;
+  convergence : string option;
+  recorder : string option;
   log_level : Obs.Logger.level option;
 }
 
@@ -167,7 +169,7 @@ let obs_term =
           ~doc:
             "Write Chrome trace-event JSONL (pool-worker, kernel, and \
              plan-solve spans) to $(i,FILE); load it in chrome://tracing or \
-             ui.perfetto.dev.")
+             ui.perfetto.dev. $(i,FILE) $(b,-) writes to stderr.")
   in
   let metrics =
     Arg.(
@@ -177,7 +179,30 @@ let obs_term =
           ~doc:
             "Enable the metrics registry and write a Prometheus-style text \
              dump (pool queue-wait, phase-1 kernel, and per-snapshot solve \
-             histograms, plus counters and gauges) to $(i,FILE) on exit.")
+             histograms, plus counters and gauges) to $(i,FILE) on exit. \
+             $(i,FILE) $(b,-) writes to stdout.")
+  in
+  let convergence =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "convergence" ] ~docv:"FILE"
+          ~doc:
+            "Stream per-iteration solver convergence JSONL (solve id, \
+             iteration, relative residual, phase/preconditioner/warm \
+             context) to $(i,FILE); feed it to $(b,report --convergence). \
+             $(i,FILE) $(b,-) writes to stderr.")
+  in
+  let recorder =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-recorder" ] ~docv:"FILE"
+          ~doc:
+            "Enable the in-memory flight recorder (recent spans, solver \
+             iterations, quarantine and health verdicts) and dump it to \
+             $(i,FILE) as JSONL on non-convergence, refusal, and exit; \
+             read it back with $(b,report --recorder).")
   in
   let log_level =
     let level_conv =
@@ -201,26 +226,56 @@ let obs_term =
              $(b,error), $(b,warn), $(b,info), or $(b,debug).")
   in
   Term.(
-    const (fun trace metrics log_level -> { trace; metrics; log_level })
-    $ trace $ metrics $ log_level)
+    const (fun trace metrics convergence recorder log_level ->
+        { trace; metrics; convergence; recorder; log_level })
+    $ trace $ metrics $ convergence $ recorder $ log_level)
+
+(* "-" selects a standard stream instead of a file literally named "-":
+   line-oriented streams (trace, convergence) go to stderr so they never
+   interleave with result output on stdout; the metrics dump — written
+   once, on exit — goes to stdout. *)
+let line_sink path =
+  if path = "-" then Obs.Sink.stderr_lines () else Obs.Sink.file path
 
 (* Install the requested sinks, run, and dump/close on the way out (also
    on failure, so a crashed serving run still leaves its telemetry). *)
 let with_obs cfg f =
   Obs.Logger.set_level Obs.Logger.default cfg.log_level;
   Option.iter
-    (fun path -> Obs.Trace.set_sink Obs.Trace.default (Some (Obs.Sink.file path)))
+    (fun path -> Obs.Trace.set_sink Obs.Trace.default (Some (line_sink path)))
     cfg.trace;
+  Option.iter
+    (fun path ->
+      Obs.Convergence.set_sink Obs.Convergence.default (Some (line_sink path)))
+    cfg.convergence;
+  Option.iter
+    (fun path ->
+      Obs.Recorder.enable Obs.Recorder.default;
+      if path <> "-" then
+        Obs.Recorder.set_dump_path Obs.Recorder.default (Some path))
+    cfg.recorder;
   if cfg.metrics <> None then Obs.Metrics.enable Obs.Metrics.default;
   Fun.protect
     ~finally:(fun () ->
       Option.iter
         (fun path ->
-          let oc = open_out path in
-          output_string oc (Obs.Metrics.dump Obs.Metrics.default);
-          close_out oc;
+          let dump = Obs.Metrics.dump Obs.Metrics.default in
+          (if path = "-" then print_string dump
+           else begin
+             let oc = open_out path in
+             output_string oc dump;
+             close_out oc
+           end);
           Obs.Metrics.disable Obs.Metrics.default)
         cfg.metrics;
+      (* "-" has nowhere persistent for an exit dump: write it to stderr
+         here instead of registering a dump path *)
+      (match cfg.recorder with
+      | Some "-" ->
+          Obs.Recorder.dump Obs.Recorder.default ~reason:"exit"
+            (Obs.Sink.stderr_lines ())
+      | _ -> ());
+      Obs.Convergence.close Obs.Convergence.default;
       Obs.Trace.close Obs.Trace.default)
     f
 
@@ -656,10 +711,71 @@ let check_cmd =
           identifiability, and probing cost.")
     term
 
+(* --- report ---------------------------------------------------------------- *)
+
+let report_cmd =
+  let input name ~doc =
+    Arg.(value & opt (some file) None & info [ name ] ~docv:"FILE" ~doc)
+  in
+  let recorder_arg =
+    input "recorder"
+      ~doc:"Flight-recorder JSONL dump written by $(b,--flight-recorder)."
+  in
+  let trace_arg =
+    input "trace" ~doc:"Chrome trace-event JSONL written by $(b,--trace)."
+  in
+  let metrics_arg =
+    input "metrics" ~doc:"Prometheus text dump written by $(b,--metrics)."
+  in
+  let convergence_arg =
+    input "convergence"
+      ~doc:"Per-iteration solver JSONL written by $(b,--convergence)."
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"N" ~doc:"Show the N slowest individual spans.")
+  in
+  let tail_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "tail" ] ~docv:"N"
+          ~doc:"Show the last N per-iteration residuals of the focus solve.")
+  in
+  let read path = In_channel.with_open_text path In_channel.input_all in
+  let run recorder trace metrics convergence top tail =
+    if recorder = None && trace = None && metrics = None && convergence = None
+    then
+      failwith
+        "report needs at least one input (--recorder, --trace, --metrics, or \
+         --convergence)";
+    print_string
+      (Obs.Report.render
+         ?recorder:(Option.map read recorder)
+         ?trace:(Option.map read trace)
+         ?metrics:(Option.map read metrics)
+         ?convergence:(Option.map read convergence)
+         ~top ~tail ())
+  in
+  let term =
+    Term.(
+      const run $ recorder_arg $ trace_arg $ metrics_arg $ convergence_arg
+      $ top_arg $ tail_arg)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render the telemetry of a previous run (flight-recorder dump, \
+          trace, metrics, convergence stream) as one page: per-phase \
+          wall/alloc profile, slowest spans, a per-solve convergence table \
+          with the residual tail, and the health verdict with quarantine \
+          counts.")
+    term
+
 let main =
   let doc = "network loss tomography with second-order statistics (LIA)" in
   Cmd.group (Cmd.info "lia_cli" ~doc)
-    [ gen_cmd; sim_cmd; infer_cmd; validate_cmd; check_cmd ]
+    [ gen_cmd; sim_cmd; infer_cmd; validate_cmd; check_cmd; report_cmd ]
 
 let () =
   match Cmd.eval_value ~catch:false main with

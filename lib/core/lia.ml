@@ -155,8 +155,20 @@ let infer_checked ?(solver = Dense) ?jobs ?(min_pair_samples = 2)
     | Clean -> ()
     | Degraded _ -> Obs.Metrics.incr m_degraded
     | Refused _ -> Obs.Metrics.incr m_refused);
+    if Obs.Recorder.enabled Obs.Recorder.default then
+      Obs.Recorder.record Obs.Recorder.default ~kind:"verdict" "lia.verdict"
+        ~fields:
+          [
+            ("health", Obs.Field.Str (health_label health));
+            ("summary", Obs.Field.Str (health_summary health));
+          ];
     Obs.Trace.instant Obs.Trace.default "lia.verdict"
       ~args:[ ("health", Obs.Field.Str (health_label health)) ];
+    (* a refusal is terminal for this run: flush the recorder tail now so
+       the dump survives even an abrupt exit-3 path *)
+    (match health with
+    | Refused _ -> Obs.Recorder.auto_dump Obs.Recorder.default ~reason:"refused"
+    | Clean | Degraded _ -> ());
     { health; result }
   in
   let refuse fmt = Printf.ksprintf (fun s -> finish (Refused s) None) fmt in

@@ -3,32 +3,32 @@ module Matrix = Linalg.Matrix
 
 let m_observations =
   Obs.Metrics.counter Obs.Metrics.default
-    ~help:"Snapshots pushed into monitor windows" "monitor_observations_total"
+    ~help:"Snapshots pushed into monitor windows" "lia_monitor_observations_total"
 
 let m_evictions =
   Obs.Metrics.counter Obs.Metrics.default
     ~help:"Snapshots evicted from full monitor windows (window churn)"
-    "monitor_evictions_total"
+    "lia_monitor_evictions_total"
 
 let m_invalidations =
   Obs.Metrics.counter Obs.Metrics.default
     ~help:"Cached variance vectors invalidated by new observations"
-    "monitor_cache_invalidations_total"
+    "lia_monitor_cache_invalidations_total"
 
 let m_relearns =
   Obs.Metrics.counter Obs.Metrics.default
     ~help:"Variance re-estimations over the monitor window"
-    "monitor_variance_relearns_total"
+    "lia_monitor_variance_relearns_total"
 
 let m_quarantined =
   Obs.Metrics.counter Obs.Metrics.default
     ~help:"Snapshots rejected by monitor ingest validation"
-    "monitor_quarantined_total"
+    "lia_monitor_quarantined_total"
 
 let g_window_fill =
   Obs.Metrics.gauge Obs.Metrics.default
     ~help:"Snapshots currently buffered by the most recent monitor"
-    "monitor_window_fill"
+    "lia_monitor_window_fill"
 
 type t = {
   r : Sparse.t;

@@ -28,6 +28,8 @@ type fact =
       tol : float;
       max_iter : int option;
       precond : Linalg.Precond.t option;
+      context : (string * Obs.Field.t) list;
+          (* telemetry labels for every solve against this plan *)
     }
 
 type t = {
@@ -116,7 +118,24 @@ let make ?jobs ?(backend = Dense_qr) ~r ~variances () =
               in
               Some (Linalg.Precond.block_jacobi ?jobs ~cols:k blocks)
         in
-        Iterative { op = Linalg.Lsqr.of_sparse r_star; tol; max_iter; precond = pc }
+        let pc_name =
+          match precond with
+          | Variance_estimator.Pc_none -> "none"
+          | Variance_estimator.Pc_jacobi -> "jacobi"
+          | Variance_estimator.Pc_block_jacobi _ -> "block_jacobi"
+        in
+        Iterative
+          {
+            op = Linalg.Lsqr.of_sparse r_star;
+            tol;
+            max_iter;
+            precond = pc;
+            context =
+              [
+                ("phase", Obs.Field.Str "phase2");
+                ("precond", Obs.Field.Str pc_name);
+              ];
+          }
   in
   Obs.Metrics.set g_rank (float_of_int (Array.length kept));
   Obs.Metrics.set g_deleted (float_of_int (Array.length removed));
@@ -155,8 +174,10 @@ let result_of_x p x_star =
 let least_squares_x ?x0 p y_now =
   match p.fact with
   | Direct fact -> Qr.least_squares fact y_now
-  | Iterative { op; tol; max_iter; precond } ->
-      let x, stats = Linalg.Lsqr.cgls ~tol ?max_iter ?x0 ?precond op y_now in
+  | Iterative { op; tol; max_iter; precond; context } ->
+      let x, stats =
+        Linalg.Lsqr.cgls ~tol ?max_iter ?x0 ?precond ~context op y_now
+      in
       Obs.Metrics.add m_cgls_iters stats.Linalg.Conjugate_gradient.iterations;
       x
 

@@ -2,22 +2,22 @@ module Matrix = Linalg.Matrix
 
 let m_rows =
   Obs.Metrics.counter Obs.Metrics.default
-    ~help:"Snapshot rows quarantined at ingest" "quarantine_rows_total"
+    ~help:"Snapshot rows quarantined at ingest" "lia_quarantine_rows_total"
 
 let m_cells =
   Obs.Metrics.counter Obs.Metrics.default
     ~help:"Out-of-range measurement cells neutralized at ingest"
-    "quarantine_cells_total"
+    "lia_quarantine_cells_total"
 
 let m_duplicates =
   Obs.Metrics.counter Obs.Metrics.default
     ~help:"Duplicate snapshot rows dropped at ingest"
-    "quarantine_duplicates_total"
+    "lia_quarantine_duplicates_total"
 
 let g_dropped =
   Obs.Metrics.gauge Obs.Metrics.default
     ~help:"Snapshots quarantined by the most recent ingest scrub"
-    "ingest_dropped_snapshots"
+    "lia_ingest_dropped_snapshots"
 
 type reason =
   | All_missing
@@ -132,6 +132,17 @@ let scrub ?(max_missing_fraction = 0.5) y =
   Obs.Metrics.add m_cells report.corrupt_cells;
   Obs.Metrics.add m_duplicates !n_dup;
   Obs.Metrics.set g_dropped (float_of_int (List.length report.quarantined));
+  if Obs.Recorder.enabled Obs.Recorder.default then
+    List.iter
+      (fun (l, reason) ->
+        Obs.Recorder.record Obs.Recorder.default ~kind:"quarantine"
+          "quarantine.row"
+          ~fields:
+            [
+              ("row", Obs.Field.Int l);
+              ("reason", Obs.Field.Str (reason_to_string reason));
+            ])
+      report.quarantined;
   if List.length report.quarantined > 0 then
     Obs.Trace.instant Obs.Trace.default "quarantine.rows"
       ~args:

@@ -335,6 +335,11 @@ let estimate_matfree_ess ?(options = default_matfree_options) ?jobs ~r ~y () =
     match options.mf_precond with
     | Pc_none ->
         Linalg.Lsqr.cgls ~tol:options.tol ?max_iter:options.max_iter
+          ~context:
+            [
+              ("phase", Obs.Field.Str "phase1");
+              ("precond", Obs.Field.Str "none");
+            ]
           (Augmented.matfree ?jobs ~mask r)
           rhs
     | Pc_jacobi ->
@@ -348,6 +353,11 @@ let estimate_matfree_ess ?(options = default_matfree_options) ?jobs ~r ~y () =
         let w = Array.map (fun c -> 1. /. sqrt (Float.max 1. c)) counts in
         let z, stats =
           Linalg.Lsqr.cgls ~tol:options.tol ?max_iter:options.max_iter
+            ~context:
+              [
+                ("phase", Obs.Field.Str "phase1");
+                ("precond", Obs.Field.Str "jacobi");
+              ]
             (Linalg.Lsqr.scaled_columns op w)
             rhs
         in
@@ -380,7 +390,13 @@ let estimate_matfree_ess ?(options = default_matfree_options) ?jobs ~r ~y () =
         let pc = Linalg.Precond.block_jacobi ?jobs ~cols:nc blocks in
         let zp, stats =
           Linalg.Lsqr.cgls ~tol:options.tol ?max_iter:options.max_iter
-            ~precond:pc op rhs
+            ~precond:pc
+            ~context:
+              [
+                ("phase", Obs.Field.Str "phase1");
+                ("precond", Obs.Field.Str "block_jacobi");
+              ]
+            op rhs
         in
         let v = Array.make nc 0. in
         Array.iteri (fun k j -> v.(j) <- zp.(k)) order;

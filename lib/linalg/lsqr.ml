@@ -42,7 +42,7 @@ let scaled_columns op w =
    start is u₀ = C x₀ instead of 0; the stopping reference stays
    ‖Ãᵀ b‖ — what the zero start would see — so warming up can only
    save iterations, never tighten the target. *)
-let cgls ?(tol = 1e-10) ?max_iter ?x0 ?precond op b =
+let cgls ?(tol = 1e-10) ?max_iter ?x0 ?precond ?(context = []) op b =
   if Array.length b <> op.rows then invalid_arg "Lsqr.cgls: rhs length mismatch";
   if tol <= 0. then invalid_arg "Lsqr.cgls: non-positive tolerance";
   let n = op.cols in
@@ -74,21 +74,33 @@ let cgls ?(tol = 1e-10) ?max_iter ?x0 ?precond op b =
   let ref_norm =
     match x0 with None -> sqrt gamma0 | Some _ -> Vector.norm2 (apply_t b)
   in
+  let probes = Conjugate_gradient.instrumented () in
+  let solve_id = if probes then Conjugate_gradient.new_solve_id () else 0 in
+  let context =
+    if probes then context @ [ ("warm", Obs.Field.Bool (x0 <> None)) ]
+    else context
+  in
   let stats_of ~iterations ~residual_norm ~converged =
     (* guard the zero-norm reference: 0/0 must read as "already there",
        never as NaN (pinned by test_linalg's zero-rhs cases) *)
     let relative_residual =
       if ref_norm > 0. then residual_norm /. ref_norm else 0.
     in
+    let stats =
+      {
+        Conjugate_gradient.iterations;
+        residual_norm;
+        relative_residual;
+        converged;
+      }
+    in
+    if probes then
+      Conjugate_gradient.note_solve_done ~solver:"cgls" ~solve:solve_id ~context
+        stats;
     if not converged then
       Conjugate_gradient.note_nonconvergence ~solver:"cgls" ~iterations
         ~relative_residual;
-    {
-      Conjugate_gradient.iterations;
-      residual_norm;
-      relative_residual;
-      converged;
-    }
+    stats
   in
   if ref_norm = 0. then
     (* Aᵀb = 0: x = 0 zeroes the normal-equations residual exactly, so it
@@ -107,6 +119,7 @@ let cgls ?(tol = 1e-10) ?max_iter ?x0 ?precond op b =
     let continue_ = ref (sqrt gamma0 > threshold) in
     while !continue_ && !iters < max_iter do
       incr iters;
+      let t0 = if probes then Obs.Clock.now_ns () else 0L in
       let q = apply p in
       let qq = Vector.dot q q in
       if qq <= 0. then
@@ -127,7 +140,13 @@ let cgls ?(tol = 1e-10) ?max_iter ?x0 ?precond op b =
           done
         end;
         gamma := gamma'
-      end
+      end;
+      if probes then
+        Conjugate_gradient.note_iteration ~solver:"cgls" ~solve:solve_id
+          ~iteration:!iters
+          ~relative_residual:(sqrt !gamma /. ref_norm)
+          ~iter_seconds:(Obs.Clock.seconds_since t0)
+          ~context
     done;
     let residual_norm = sqrt !gamma in
     let converged = residual_norm <= threshold in

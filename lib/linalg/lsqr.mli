@@ -54,6 +54,7 @@ val cgls :
   ?max_iter:int ->
   ?x0:Vector.t ->
   ?precond:Precond.t ->
+  ?context:(string * Obs.Field.t) list ->
   operator ->
   Vector.t ->
   Vector.t * stats
@@ -76,4 +77,12 @@ val cgls :
     [precond] runs the recurrence on the right-preconditioned operator
     [A C⁻¹] and maps the solution back ([x = C⁻¹ u]); see {!Precond}.
     Without it the recurrence is untouched — bit-for-bit the historical
-    arithmetic. *)
+    arithmetic.
+
+    [context] labels the solve's telemetry — per-iteration relative
+    residuals go to the [lia_cgls_relres] / [lia_cgls_iter_seconds]
+    histograms, the flight recorder, and the {!Obs.Convergence} stream,
+    tagged with the context fields plus a ["warm"] flag derived from
+    [x0]. When no telemetry output is enabled the per-iteration probes
+    (and their clock reads) are skipped entirely; either way the
+    iterates are bit-for-bit unaffected. *)

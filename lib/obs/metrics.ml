@@ -182,6 +182,37 @@ let histogram_sum h =
   (* shard index order: deterministic for fixed shard contents *)
   Array.fold_left (fun acc s -> acc +. Atomic.get s) 0. h.sums
 
+let histogram_quantile h q =
+  if not (q >= 0. && q <= 1.) then
+    invalid_arg "Obs.Metrics.histogram_quantile: q outside [0, 1]";
+  let counts = histogram_counts h in
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then Float.nan
+  else begin
+    (* walk the cumulative distribution to the bucket holding rank
+       q·total, then interpolate linearly inside it — the Prometheus
+       histogram_quantile() estimate. The first bucket's lower edge is
+       0 (every recorded value here is a duration); the +Inf bucket has
+       no upper edge, so it reports its lower edge (the largest finite
+       edge), the same conservative clamp Prometheus applies. *)
+    let rank = q *. float_of_int total in
+    let n_edges = Array.length h.edges in
+    let rec go b cum =
+      let cum' = cum +. float_of_int counts.(b) in
+      if cum' >= rank || b = n_edges then (b, cum)
+      else go (b + 1) cum'
+    in
+    let b, below = go 0 0. in
+    if b >= n_edges then h.edges.(n_edges - 1)
+    else begin
+      let lower = if b = 0 then 0. else h.edges.(b - 1) in
+      let upper = h.edges.(b) in
+      let inside = float_of_int counts.(b) in
+      if inside <= 0. then upper
+      else lower +. ((upper -. lower) *. ((rank -. below) /. inside))
+    end
+  end
+
 let reset t =
   Mutex.lock t.mutex;
   List.iter

@@ -87,6 +87,16 @@ val histogram_count : histogram -> int
 
 val histogram_sum : histogram -> float
 
+val histogram_quantile : histogram -> float -> float
+(** [histogram_quantile h q] estimates the [q]-quantile ([0 ≤ q ≤ 1])
+    of the observed distribution from the bucket counts, interpolating
+    linearly within the bucket that holds rank [q·count] — the
+    Prometheus [histogram_quantile()] estimate, so accuracy is bounded
+    by bucket width. The first bucket interpolates from a lower edge of
+    0; a quantile landing in the overflow bucket reports the largest
+    finite edge (the Prometheus clamp). [nan] when the histogram is
+    empty; raises [Invalid_argument] on [q] outside [0, 1]. *)
+
 val names : t -> string list
 (** Registered names in registration order. *)
 

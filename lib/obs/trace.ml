@@ -8,7 +8,14 @@
    events carrying ts/dur in microseconds; nesting is reconstructed by
    the viewer from containment of [ts, ts+dur) ranges within one tid, and
    tid is the raising domain's id, so pool-worker spans land on their own
-   rows. *)
+   rows.
+
+   Spans also feed the flight recorder (Recorder.default) when it is
+   enabled, independently of whether a trace sink is installed: the
+   span_end event carries the duration plus the GC words the span
+   allocated (minor + major - promoted, by Gc.quick_stat delta on the
+   running domain), which is what the report profiler's per-phase
+   allocation column is built from. *)
 
 type t = { mutable sink : Sink.t option }
 
@@ -45,20 +52,44 @@ let emit t ~name ~ph ~ts_us ~dur_us ~args =
       Buffer.add_string b "},";
       Sink.write sink (Buffer.contents b)
 
+(* words allocated by this domain so far; quick_stat never walks the
+   heap. Gc.minor_words () reads the live young-pointer (quick_stat's
+   minor_words only updates at minor collections, so short spans would
+   read as zero); the major terms add direct major-heap allocations
+   without double-counting promotions. *)
+let alloc_words () =
+  let s = Gc.quick_stat () in
+  Gc.minor_words () +. s.Gc.major_words -. s.Gc.promoted_words
+
 let instant ?(args = []) t name =
+  if Recorder.enabled Recorder.default then
+    Recorder.record Recorder.default ~fields:args ~kind:"instant" name;
   if enabled t then
     emit t ~name ~ph:'i' ~ts_us:(Clock.now_us ()) ~dur_us:None ~args
 
 let with_span ?(args = []) t name f =
+  let recording = Recorder.enabled Recorder.default in
   match t.sink with
-  | None -> f ()
-  | Some _ ->
+  | None when not recording -> f ()
+  | _ ->
       let t0 = Clock.now_ns () in
+      let w0 = if recording then alloc_words () else 0. in
+      if recording then
+        Recorder.record Recorder.default ~fields:args ~kind:"span_begin" name;
       Fun.protect
         ~finally:(fun () ->
           let t1 = Clock.now_ns () in
+          let dur_us = Int64.div (Int64.sub t1 t0) 1_000L in
+          if recording then
+            Recorder.record Recorder.default ~kind:"span_end" name
+              ~fields:
+                (args
+                @ [
+                    ("dur_us", Field.Int (Int64.to_int dur_us));
+                    ( "alloc_words",
+                      Field.Int (int_of_float (alloc_words () -. w0)) );
+                  ]);
           emit t ~name ~ph:'X'
             ~ts_us:(Int64.div t0 1_000L)
-            ~dur_us:(Some (Int64.div (Int64.sub t1 t0) 1_000L))
-            ~args)
+            ~dur_us:(Some dur_us) ~args)
         f

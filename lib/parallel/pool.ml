@@ -37,6 +37,9 @@ type stats = {
   tasks_run : int;
   blocks_scheduled : int;
   sequential_fallbacks : int;
+  queue_wait_p50 : float;
+  queue_wait_p95 : float;
+  queue_wait_p99 : float;
 }
 
 type t = {
@@ -56,6 +59,12 @@ let stats pool =
     tasks_run = Atomic.get pool.tasks_run;
     blocks_scheduled = Atomic.get pool.blocks_scheduled;
     sequential_fallbacks = Atomic.get pool.seq_fallbacks;
+    (* read back from the process-wide queue-wait histogram: per-pool
+       attribution is not tracked, and the estimate is nan until the
+       metrics registry has observed at least one enqueue *)
+    queue_wait_p50 = Obs.Metrics.histogram_quantile m_queue_wait 0.50;
+    queue_wait_p95 = Obs.Metrics.histogram_quantile m_queue_wait 0.95;
+    queue_wait_p99 = Obs.Metrics.histogram_quantile m_queue_wait 0.99;
   }
 
 (* set while a pool task runs, so nested parallel sections degrade to

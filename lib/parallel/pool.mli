@@ -23,6 +23,13 @@ type stats = {
   sequential_fallbacks : int;
       (** sections handed to this pool that ran inline instead (single
           block, or issued from inside a pool task) *)
+  queue_wait_p50 : float;
+      (** median seconds between block enqueue and execution start, read
+          back from the process-wide [pool_queue_wait_seconds] histogram
+          (bucket-interpolated, see {!Obs.Metrics.histogram_quantile});
+          [nan] until the metrics registry has recorded an enqueue *)
+  queue_wait_p95 : float;
+  queue_wait_p99 : float;
 }
 
 val stats : t -> stats
@@ -30,7 +37,9 @@ val stats : t -> stats
     field is an atomic read; no lock is taken). Sections that fall back
     to sequential before a pool is resolved — [?jobs] calls with
     [jobs = 1] — are counted only by the process-wide
-    [pool_sequential_fallbacks_total] metric, not here.
+    [pool_sequential_fallbacks_total] metric, not here. The queue-wait
+    quantiles come from the process-wide histogram (all pools combined)
+    and need {!Obs.Metrics.default} enabled while the blocks ran.
 
     Telemetry note: the pool also feeds the process-wide
     {!Obs.Metrics.default} registry ([pool_tasks_total],

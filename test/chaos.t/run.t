@@ -34,9 +34,9 @@ the quarantine counters land in the metrics dump.
   link   loss rate   variance    verdict    edges
   24     0.15420     6.981e-03   CONGESTED  24 (intra-AS)
   2      0.13100     2.088e-03   CONGESTED  2 (intra-AS)
-  $ grep "^quarantine_cells_total\|^lia_degraded_total\|^ingest_dropped_snapshots" chaos-metrics.txt
-  quarantine_cells_total 11
-  ingest_dropped_snapshots 0
+  $ grep "^lia_quarantine_cells_total\|^lia_degraded_total\|^lia_ingest_dropped_snapshots" chaos-metrics.txt
+  lia_quarantine_cells_total 11
+  lia_ingest_dropped_snapshots 0
   lia_degraded_total 1
 
 Faults can also be injected at ingest, without rewriting the file. Too

@@ -1,0 +1,119 @@
+Observability v2: the flight recorder keeps the recent event tail in
+memory and dumps it as JSONL on non-convergence, refusal, and exit; the
+convergence stream logs every solver iteration; and the report
+subcommand turns those files into one operator-readable page. Jobs is
+pinned to 1 so the recorded event set is machine-independent.
+
+  $ lia_cli gen --kind tree --nodes 60 --seed 4 -o run.tb
+  wrote run.tb: graph: 60 nodes (52 hosts), 59 edges, 1 beacons, 51 destinations; 51 paths x 59 virtual links
+
+  $ lia_cli sim --testbed run.tb --snapshots 12 --seed 5 -o run.meas
+  wrote run.meas: 12 snapshots x 51 paths
+
+A starved iteration budget (--cgls-max-iter 5) leaves both solves short
+of tolerance. The run still serves its best iterate, and the recorder
+auto-dumps.
+
+  $ lia_cli infer --testbed run.tb --measurements run.meas --top 4 --jobs 1 \
+  >   --solver cgls --cgls-max-iter 5 --flight-recorder fr.jsonl \
+  >   --convergence conv.jsonl --metrics m.txt > starved.txt
+  $ grep "^health:" starved.txt
+  health: clean
+
+Telemetry never changes the estimates: the same starved run without any
+of it is bit-for-bit identical.
+
+  $ lia_cli infer --testbed run.tb --measurements run.meas --top 4 --jobs 1 \
+  >   --solver cgls --cgls-max-iter 5 > plain.txt
+  $ diff starved.txt plain.txt
+
+The dump is one header line plus one JSONL event per line: five
+solver_iter events per starved solve, span begin/end pairs with GC
+words attributed to each span, and the health verdict.
+
+  $ head -1 fr.jsonl | grep -o '"kind": "recorder_dump"'
+  "kind": "recorder_dump"
+  $ grep -c '"kind": "solver_iter"' fr.jsonl
+  10
+  $ grep -c '"kind": "verdict"' fr.jsonl
+  1
+  $ grep '"kind": "span_end"' fr.jsonl | grep -c '"alloc_words"'
+  4
+
+The convergence stream carries the same iterations as flat JSONL with
+solve context; residuals decrease monotonically here.
+
+  $ wc -l < conv.jsonl
+  10
+  $ head -2 conv.jsonl
+  {"solver": "cgls", "solve": 1, "iteration": 1, "relres": 0.243128430348, "phase": "phase1", "precond": "jacobi", "warm": false}
+  {"solver": "cgls", "solve": 1, "iteration": 2, "relres": 0.142440827742, "phase": "phase1", "precond": "jacobi", "warm": false}
+
+report renders the per-phase wall/alloc profile (names are
+deterministic, times are not), the per-solve convergence table, the
+residual tail of the first non-converged solve, and the health verdict.
+
+  $ lia_cli report --recorder fr.jsonl --metrics m.txt --tail 3 > page.txt
+  $ sed -n '/^Per-phase/,/^$/p' page.txt | awk 'NR > 3 && NF { print $1 }' | sort
+  lia.infer_checked
+  plan.build
+  plan.solve
+  variance_estimator.estimate_matfree
+  $ sed -n '/^Convergence/,/^$/p' page.txt | grep .
+  Convergence
+  -----------
+  solver solve  phase    precond       warm   iters  final_relres converged
+  cgls   1      phase1   jacobi        cold       5     1.205e-02 NO
+  cgls   2      phase2   none          cold       5     6.411e-03 NO
+
+  $ sed -n '/^Residual tail/,/^$/p' page.txt | grep .
+  Residual tail (cgls solve 1, last 3 of 5 iterations)
+  ----------------------------------------------------
+    iter        relres
+       3     4.325e-02
+       4     1.801e-02
+       5     1.205e-02
+
+  $ sed -n '/^Health/,/^$/p' page.txt | grep .
+  Health
+  ------
+  verdict: clean
+  nonconverged solves: 2
+
+
+A refused run dumps too, with the refusal verdict on record.
+
+  $ lia_cli infer --testbed run.tb --measurements run.meas --jobs 1 \
+  >   --fault-spec seed=1,miss=0.95 --flight-recorder refused.jsonl > refused.txt
+  [3]
+  $ grep '"kind": "verdict"' refused.jsonl | grep -o '"health": "refused"'
+  "health": "refused"
+  $ lia_cli report --recorder refused.jsonl | grep "^verdict:"
+  verdict: refused — refused (0 usable learning snapshots after quarantine (need at least 2))
+
+report without any input is a usage error (exit 2).
+
+  $ lia_cli report
+  lia_cli: report needs at least one input (--recorder, --trace, --metrics, or --convergence)
+  [2]
+
+--metrics - writes the dump to stdout instead of a file named "-", and
+--trace - streams trace events to stderr.
+
+  $ lia_cli infer --testbed run.tb --measurements run.meas --top 4 --jobs 1 \
+  >   --metrics - | grep -c "^lia_quarantine_rows_total 0"
+  1
+  $ lia_cli infer --testbed run.tb --measurements run.meas --top 4 --jobs 1 \
+  >   --trace - 2>trace.err >/dev/null
+  $ head -1 trace.err
+  [
+  $ grep -c '"name": "lia.infer_checked"' trace.err
+  1
+  $ test ! -e ./-
+
+--convergence - streams iteration lines to stderr.
+
+  $ lia_cli infer --testbed run.tb --measurements run.meas --top 4 --jobs 1 \
+  >   --solver cgls --cgls-max-iter 2 --convergence - 2>conv.err >/dev/null
+  $ head -1 conv.err
+  {"solver": "cgls", "solve": 1, "iteration": 1, "relres": 0.243128430348, "phase": "phase1", "precond": "jacobi", "warm": false}

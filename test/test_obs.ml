@@ -219,6 +219,239 @@ let prop_inference_bits_unchanged_by_obs =
       vec_bits_equal off.Core.Lia.loss_rates on.Core.Lia.loss_rates
       && off.Core.Lia.kept = on.Core.Lia.kept)
 
+(* --- histogram quantiles ------------------------------------------------ *)
+
+let test_histogram_quantile () =
+  let reg = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram reg ~buckets:[| 1.; 2.; 4. |] "q_seconds" in
+  Alcotest.(check bool) "empty is nan" true
+    (Float.is_nan (Obs.Metrics.histogram_quantile h 0.5));
+  (* 10 observations in (0,1], 10 in (1,2]: the median sits exactly at
+     the shared edge, p75 interpolates halfway into the second bucket *)
+  for _ = 1 to 10 do
+    Obs.Metrics.observe h 0.5;
+    Obs.Metrics.observe h 1.5
+  done;
+  let close msg want got = Alcotest.(check bool) msg true (abs_float (want -. got) < 1e-9) in
+  close "p50 at bucket edge" 1.0 (Obs.Metrics.histogram_quantile h 0.5);
+  close "p75 interpolated" 1.5 (Obs.Metrics.histogram_quantile h 0.75);
+  close "p100 upper edge" 2.0 (Obs.Metrics.histogram_quantile h 1.0);
+  (* overflow bucket clamps to the largest finite edge *)
+  Obs.Metrics.observe h 100.;
+  close "overflow clamped" 4.0 (Obs.Metrics.histogram_quantile h 1.0);
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Obs.Metrics.histogram_quantile: q outside [0, 1]")
+    (fun () -> ignore (Obs.Metrics.histogram_quantile h 1.5))
+
+(* --- flight recorder ---------------------------------------------------- *)
+
+let test_recorder_drop_oldest () =
+  let rec_ = Obs.Recorder.create ~capacity:4 () in
+  Obs.Recorder.enable rec_;
+  for i = 0 to 9 do
+    Obs.Recorder.record rec_ ~kind:"instant"
+      ~fields:[ ("i", Obs.Field.Int i) ]
+      "tick"
+  done;
+  Alcotest.(check int) "recorded counts everything" 10
+    (Obs.Recorder.recorded rec_);
+  Alcotest.(check int) "dropped the overflow" 6 (Obs.Recorder.dropped rec_);
+  let evs = Obs.Recorder.events rec_ in
+  Alcotest.(check int) "kept exactly capacity" 4 (List.length evs);
+  (* drop-oldest: survivors are the last 4, in order *)
+  Alcotest.(check (list int))
+    "newest survive in order" [ 6; 7; 8; 9 ]
+    (List.map (fun e -> e.Obs.Recorder.seq) evs);
+  Obs.Recorder.reset rec_;
+  Alcotest.(check int) "reset empties" 0
+    (List.length (Obs.Recorder.events rec_))
+
+let prop_recorder_ring_semantics =
+  QCheck.Test.make ~count:50 ~name:"recorder ring keeps the newest tail"
+    QCheck.(pair (int_range 1 32) (int_range 0 100))
+    (fun (capacity, n) ->
+      let rec_ = Obs.Recorder.create ~capacity () in
+      Obs.Recorder.enable rec_;
+      for i = 0 to n - 1 do
+        Obs.Recorder.record rec_ ~kind:"instant"
+          ~fields:[ ("i", Obs.Field.Int i) ]
+          "tick"
+      done;
+      let evs = Obs.Recorder.events rec_ in
+      let kept = min n capacity in
+      Obs.Recorder.recorded rec_ = n
+      && Obs.Recorder.dropped rec_ = max 0 (n - capacity)
+      && List.length evs = kept
+      && List.map (fun e -> e.Obs.Recorder.seq) evs
+         = List.init kept (fun k -> n - kept + k))
+
+let prop_recorder_merge_jobs_invariant =
+  QCheck.Test.make ~count:20
+    ~name:"recorder event multiset invariant across jobs"
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let runs =
+        List.map
+          (fun jobs ->
+            let rec_ = Obs.Recorder.create () in
+            Obs.Recorder.enable rec_;
+            Pool.parallel_for ~jobs ~min_block:16 ~n:(200 + (seed mod 100))
+              (fun i ->
+                Obs.Recorder.record rec_ ~kind:"work"
+                  ~fields:[ ("i", Obs.Field.Int i) ]
+                  "block");
+            Obs.Recorder.events rec_
+            |> List.map (fun e ->
+                   ( e.Obs.Recorder.kind,
+                     e.Obs.Recorder.name,
+                     e.Obs.Recorder.fields ))
+            |> List.sort compare)
+          [ 1; 2; 4 ]
+      in
+      match runs with
+      | [ a; b; c ] -> a = b && a = c
+      | _ -> false)
+
+(* the recorder-off vs recorder-on bit-identity contract, exercised
+   through the cgls path so the per-iteration solver probes fire *)
+let prop_inference_bits_unchanged_by_recorder =
+  QCheck.Test.make ~count:4
+    ~name:"inference bit-identical with recorder + convergence on vs off"
+    QCheck.(int_range 1 5000)
+    (fun seed ->
+      let r, y_learn, y_now = random_campaign seed in
+      let solver =
+        Core.Lia.Cgls
+          {
+            tol = 1e-10;
+            max_iter = None;
+            sample = None;
+            precond = Core.Variance_estimator.Pc_jacobi;
+          }
+      in
+      Obs.Recorder.disable Obs.Recorder.default;
+      let off = Core.Lia.infer ~solver ~r ~y_learn ~y_now () in
+      Obs.Recorder.enable Obs.Recorder.default;
+      let conv_sink, _ = Obs.Sink.memory () in
+      Obs.Convergence.set_sink Obs.Convergence.default (Some conv_sink);
+      let on = Core.Lia.infer ~solver ~r ~y_learn ~y_now () in
+      Obs.Convergence.set_sink Obs.Convergence.default None;
+      Obs.Recorder.disable Obs.Recorder.default;
+      Obs.Recorder.reset Obs.Recorder.default;
+      vec_bits_equal off.Core.Lia.loss_rates on.Core.Lia.loss_rates
+      && off.Core.Lia.kept = on.Core.Lia.kept)
+
+(* --- convergence stream ------------------------------------------------- *)
+
+(* every line is one well-formed JSON object; iteration indices within a
+   solve id are strictly increasing from 1 *)
+let prop_convergence_jsonl_well_formed =
+  QCheck.Test.make ~count:10 ~name:"convergence JSONL well-formed"
+    QCheck.(int_range 1 5000)
+    (fun seed ->
+      let r, y_learn, y_now = random_campaign seed in
+      let solver =
+        Core.Lia.Cgls
+          {
+            tol = 1e-10;
+            max_iter = None;
+            sample = None;
+            precond = Core.Variance_estimator.Pc_none;
+          }
+      in
+      let sink, lines = Obs.Sink.memory () in
+      Obs.Convergence.set_sink Obs.Convergence.default (Some sink);
+      ignore (Core.Lia.infer ~solver ~r ~y_learn ~y_now ());
+      Obs.Convergence.set_sink Obs.Convergence.default None;
+      let ls = lines () in
+      let last_iter = Hashtbl.create 8 in
+      ls <> []
+      && List.for_all
+           (fun line ->
+             json_object_well_formed line
+             &&
+             match Obs.Json.of_string_opt line with
+             | None -> false
+             | Some json -> (
+                 let get k f = Option.bind (Obs.Json.member k json) f in
+                 match
+                   ( get "solver" Obs.Json.to_string_opt,
+                     get "solve" Obs.Json.to_int_opt,
+                     get "iteration" Obs.Json.to_int_opt,
+                     get "relres" Obs.Json.to_float_opt )
+                 with
+                 | Some _, Some solve, Some iteration, Some relres ->
+                     let prev =
+                       Option.value ~default:0 (Hashtbl.find_opt last_iter solve)
+                     in
+                     Hashtbl.replace last_iter solve iteration;
+                     iteration = prev + 1 && relres >= 0.
+                 | _ -> false))
+           ls)
+
+(* --- report rendering --------------------------------------------------- *)
+
+let test_report_renders_sections () =
+  let recorder =
+    String.concat "\n"
+      [
+        {|{"kind": "recorder_dump", "reason": "nonconvergence", "events": 4, "dropped": 0, "capacity": 4096}|};
+        {|{"kind": "span_end", "name": "plan.solve", "domain": 0, "seq": 1, "ts_us": 10, "args": {"dur_us": 250, "alloc_words": 1000}}|};
+        {|{"kind": "solver_iter", "name": "cgls", "domain": 0, "seq": 2, "ts_us": 11, "args": {"solve": 1, "iteration": 1, "relres": 0.25, "phase": "phase2", "precond": "none", "warm": false}}|};
+        {|{"kind": "solver_done", "name": "cgls", "domain": 0, "seq": 3, "ts_us": 12, "args": {"solve": 1, "iterations": 1, "relres": 0.25, "converged": false, "phase": "phase2", "precond": "none", "warm": false}}|};
+        {|{"kind": "verdict", "name": "lia.verdict", "domain": 0, "seq": 4, "ts_us": 13, "args": {"health": "degraded", "summary": "degraded (kept 8/10)"}}|};
+      ]
+  in
+  let out = Obs.Report.render ~recorder () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "report has %S" needle) true
+        (contains ~needle out))
+    [
+      "reason=nonconvergence";
+      "Per-phase profile";
+      "plan.solve";
+      "Convergence";
+      "phase2";
+      "2.500e-01";
+      "NO";
+      "Residual tail";
+      "verdict: degraded";
+    ];
+  Alcotest.(check bool) "empty inputs say so" true
+    (contains ~needle:"no telemetry"
+       (Obs.Report.render ~recorder:"not json at all" ()))
+
+(* --- metric naming convention ------------------------------------------- *)
+
+let test_metric_names_conform () =
+  (* force every metric-registering module to link so its top-level
+     registrations land in the default registry before the scan *)
+  let touch : 'a. 'a -> unit = fun x -> ignore (Sys.opaque_identity x) in
+  touch Core.Monitor.create;
+  touch Core.Quarantine.scrub;
+  touch Core.Plan.make;
+  touch Core.Covariance.sigma_star;
+  touch Core.Augmented.build;
+  touch Core.Variance_estimator.estimate;
+  touch Linalg.Conjugate_gradient.solve;
+  touch Pool.get;
+  let prefixes = [ "lia_"; "pool_"; "plan_" ] in
+  let conforms name =
+    List.exists
+      (fun p ->
+        String.length name >= String.length p
+        && String.sub name 0 (String.length p) = p)
+      prefixes
+  in
+  let offenders =
+    List.filter
+      (fun n -> not (conforms n))
+      (Obs.Metrics.names Obs.Metrics.default)
+  in
+  Alcotest.(check (list string))
+    "every registered metric is lia_/pool_/plan_-prefixed" [] offenders
+
 (* --- dump format ------------------------------------------------------- *)
 
 let test_dump_prometheus_shape () =
@@ -258,6 +491,10 @@ let metrics_tests =
       test_counter_merge_across_jobs;
     Alcotest.test_case "dump: Prometheus text shape" `Quick
       test_dump_prometheus_shape;
+    Alcotest.test_case "histogram quantile interpolation" `Quick
+      test_histogram_quantile;
+    Alcotest.test_case "metric names conform to lia_/pool_/plan_" `Quick
+      test_metric_names_conform;
   ]
 
 let trace_tests =
@@ -266,13 +503,30 @@ let trace_tests =
       test_pool_spans_well_formed_jsonl;
   ]
 
+let recorder_tests =
+  Alcotest.test_case "ring drops oldest, keeps newest" `Quick
+    test_recorder_drop_oldest
+  :: Alcotest.test_case "report renders all sections" `Quick
+       test_report_renders_sections
+  :: List.map QCheck_alcotest.to_alcotest
+       [
+         prop_recorder_ring_semantics;
+         prop_recorder_merge_jobs_invariant;
+         prop_convergence_jsonl_well_formed;
+       ]
+
 let invariance_tests =
-  List.map QCheck_alcotest.to_alcotest [ prop_inference_bits_unchanged_by_obs ]
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_inference_bits_unchanged_by_obs;
+      prop_inference_bits_unchanged_by_recorder;
+    ]
 
 let () =
   Alcotest.run "obs"
     [
       ("metrics", metrics_tests);
       ("trace", trace_tests);
+      ("recorder", recorder_tests);
       ("invariance", invariance_tests);
     ]
