@@ -1,0 +1,141 @@
+(* crossval-smoke: a tiny scenario matrix (one tree family, clean and
+   faulted alternatives, two seeds) pushed through the full estimator
+   registry, asserting the runner's contracts: one typed outcome per
+   cell, no exception escapes, and a render that is invariant under the
+   worker count. Wired into the [crossval-smoke] dune alias so the
+   registry adapters and the scenario runner cannot rot.
+
+   crossval-grid: a larger grid timed per estimator; its aggregates are
+   the source of the "crossval_grid" section of BENCH_timing.json. *)
+
+module Crossval = Core.Crossval
+module Estimator = Core.Estimator
+module Faults = Netsim.Faults
+
+let parse_fault s =
+  match Faults.parse s with
+  | Ok t -> t
+  | Error msg -> failwith (Printf.sprintf "crossval bench: %s" msg)
+
+let grid_or_fail s =
+  match Crossval.parse_grid s with
+  | Ok g -> g
+  | Error msg -> failwith (Printf.sprintf "crossval bench: %s" msg)
+
+let run_smoke () =
+  Exp_common.header "crossval smoke (scenario matrix x estimator registry)";
+  let grid =
+    {
+      Crossval.families = [ "tree"; "planetlab" ];
+      sizes = [ 12 ];
+      models = [ "llrd1-calibrated" ];
+      faults = [ Faults.none; parse_fault "seed=3,drop=0.2,miss=0.1" ];
+    }
+  in
+  let scenarios = Crossval.scenarios grid ~seeds:[ 1; 2 ] in
+  let run jobs =
+    Crossval.run ~jobs ~snapshots:10 ~estimators:Estimator.all ~scenarios ()
+  in
+  let cells = run 2 in
+  let expected = List.length scenarios * List.length Estimator.all in
+  if Array.length cells <> expected then
+    failwith
+      (Printf.sprintf "crossval-smoke: %d cells, expected %d"
+         (Array.length cells) expected);
+  (* the acceptance trichotomy on every cell: a recognized health label
+     or a non-empty skip/refusal reason, never an escape *)
+  Array.iter
+    (fun c ->
+      match c.Crossval.outcome with
+      | Crossval.Scored { health; _ } ->
+          if not (List.mem health [ "clean"; "degraded" ]) then
+            failwith
+              (Printf.sprintf "crossval-smoke: unrecognized health %S in %s/%s"
+                 health
+                 (Crossval.scenario_label c.Crossval.scenario)
+                 c.Crossval.estimator)
+      | Crossval.Refused reason | Crossval.Skipped reason ->
+          if reason = "" then
+            failwith
+              (Printf.sprintf "crossval-smoke: empty reason in %s/%s"
+                 (Crossval.scenario_label c.Crossval.scenario)
+                 c.Crossval.estimator))
+    cells;
+  (* worker-count invariance of the rendered table *)
+  if Crossval.render cells <> Crossval.render (run 1) then
+    failwith "crossval-smoke: render differs between jobs=2 and jobs=1";
+  print_string (Crossval.render cells);
+  let count pred = Array.fold_left (fun a c -> if pred c then a + 1 else a) 0 cells in
+  let scored =
+    count (fun c ->
+        match c.Crossval.outcome with Crossval.Scored _ -> true | _ -> false)
+  in
+  let skipped =
+    count (fun c ->
+        match c.Crossval.outcome with Crossval.Skipped _ -> true | _ -> false)
+  in
+  Exp_common.note
+    "%d cells: %d scored, %d skipped, %d refused; table jobs-invariant"
+    (Array.length cells) scored skipped
+    (Array.length cells - scored - skipped)
+
+(* Per-estimator aggregates over a moderate grid; prints the JSON object
+   recorded as BENCH_timing.json "crossval_grid". *)
+let run_grid () =
+  Exp_common.header "crossval grid (per-estimator cost/accuracy aggregates)";
+  let grid =
+    grid_or_fail
+      "family=tree,planetlab;size=16;fault=none|seed=3,drop=0.2,miss=0.1"
+  in
+  let scenarios = Crossval.scenarios grid ~seeds:[ 1; 2; 3; 4 ] in
+  let cells =
+    Crossval.run ~snapshots:40 ~estimators:Estimator.all ~scenarios ()
+  in
+  print_string (Crossval.render ~timing:true cells);
+  let agg name =
+    let mine =
+      Array.to_list cells
+      |> List.filter (fun c -> c.Crossval.estimator = name)
+    in
+    let scored =
+      List.filter_map
+        (fun c ->
+          match c.Crossval.outcome with
+          | Crossval.Scored { score; _ } -> Some (c, score)
+          | _ -> None)
+        mine
+    in
+    let mean f xs =
+      match xs with
+      | [] -> None
+      | _ ->
+          Some (List.fold_left (fun a x -> a +. f x) 0. xs
+                /. float_of_int (List.length xs))
+    in
+    let wall = mean (fun (c, _) -> c.Crossval.wall_s) scored in
+    let alloc = mean (fun (c, _) -> c.Crossval.alloc_words) scored in
+    let abs_err =
+      mean (fun x -> x)
+        (List.filter_map (fun (_, s) -> s.Crossval.abs_mean) scored)
+    in
+    (name, List.length mine, List.length scored, wall, alloc, abs_err)
+  in
+  let opt fmt = function Some v -> Printf.sprintf fmt v | None -> "null" in
+  Printf.printf "\n  \"crossval_grid\": {\n";
+  Printf.printf
+    "    \"grid\": \"family=tree,planetlab;size=16;fault=none|seed=3,drop=0.2,miss=0.1\",\n";
+  Printf.printf "    \"seeds\": 4, \"snapshots\": 40,\n";
+  Printf.printf "    \"estimators\": [\n";
+  let lines =
+    List.map
+      (fun name ->
+        let name, cells, scored, wall, alloc, abs_err = agg name in
+        Printf.sprintf
+          "      {\"name\": %S, \"cells\": %d, \"scored\": %d, \
+           \"mean_wall_s\": %s, \"mean_alloc_words\": %s, \"mean_abs_err\": %s}"
+          name cells scored
+          (opt "%.6f" wall) (opt "%.0f" alloc) (opt "%.6f" abs_err))
+      Estimator.names
+  in
+  print_string (String.concat ",\n" lines);
+  Printf.printf "\n    ]\n  }\n"

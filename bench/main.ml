@@ -25,6 +25,8 @@ let experiments =
     ("solver-crossover", Solver.run_crossover);
     ("precond-crossover", Solver.run_precond_crossover);
     ("precond-smoke", Solver.run_precond_smoke);
+    ("crossval-smoke", Crossval.run_smoke);
+    ("crossval-grid", Crossval.run_grid);
     ("ablations", Ablations.run);
     ("delay", Ext_delay.run);
     ("baselines", Baselines.run);

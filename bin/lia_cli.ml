@@ -772,10 +772,151 @@ let report_cmd =
           counts.")
     term
 
+(* --- crossval --------------------------------------------------------------- *)
+
+let crossval_cmd =
+  let grid_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "grid" ] ~docv:"GRID"
+          ~doc:
+            "Scenario grid: semicolon-separated axes with comma-separated \
+             values, e.g. \
+             $(b,family=tree,planetlab;size=15,30;model=llrd1;fault=none|drop=0.2,seed=7). \
+             Fault alternatives are $(b,|)-separated (specs contain commas). \
+             Omitted axes keep their defaults \
+             ($(b,family=tree,planetlab;size=15;model=llrd1-calibrated;fault=none)).")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt string "1,2"
+      & info [ "seeds" ] ~docv:"SEEDS"
+          ~doc:
+            "Comma-separated scenario seeds; every grid point runs once per \
+             seed and the report aggregates across them. Same seeds, same \
+             grid: byte-identical report.")
+  in
+  let estimators_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "estimators" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated backend names from the registry (or $(b,all)): \
+             $(b,minc), $(b,em), $(b,mils), $(b,scfs), $(b,clink), \
+             $(b,fourier), $(b,plan), $(b,lia-dense), $(b,lia-cgls).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Also write one JSON object per (scenario, estimator) cell — \
+             including the wall-time and allocation telemetry the text table \
+             omits — to $(i,FILE).")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float 0.01
+      & info [ "threshold" ] ~docv:"TL"
+          ~doc:
+            "Lossy-link threshold for both ground truth and detection \
+             scoring (the paper's 1%).")
+  in
+  let snapshots_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "snapshots" ] ~docv:"M"
+          ~doc:"Campaign length per scenario, including the target snapshot.")
+  in
+  let probes_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "probes" ] ~docv:"S" ~doc:"Probes per snapshot.")
+  in
+  let timing_arg =
+    Arg.(
+      value & flag
+      & info [ "timing" ]
+          ~doc:
+            "Append mean wall-time and allocation columns to the table. Off \
+             by default so the report stays byte-identical across reruns; \
+             the $(b,--out) JSONL always carries both.")
+  in
+  let run grid seeds estimators out threshold snapshots probes timing jobs obs
+      =
+    with_obs obs (fun () ->
+        let grid =
+          match Core.Crossval.parse_grid grid with
+          | Ok g -> g
+          | Error msg -> failwith msg
+        in
+        let seeds =
+          String.split_on_char ',' seeds
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+          |> List.map (fun s ->
+                 match int_of_string_opt s with
+                 | Some n -> n
+                 | None -> failwith (Printf.sprintf "malformed seed %S" s))
+        in
+        if seeds = [] then failwith "no seeds given";
+        let ests =
+          if estimators = "all" then Core.Estimator.all
+          else
+            String.split_on_char ',' estimators
+            |> List.map String.trim
+            |> List.filter (fun s -> s <> "")
+            |> List.map (fun name ->
+                   match Core.Estimator.find name with
+                   | Some e -> e
+                   | None ->
+                       failwith
+                         (Printf.sprintf "unknown estimator %S (known: %s)"
+                            name
+                            (String.concat ", " Core.Estimator.names)))
+        in
+        if ests = [] then failwith "no estimators selected";
+        let scenarios = Core.Crossval.scenarios grid ~seeds in
+        let cells =
+          Core.Crossval.run ~jobs ~threshold ~snapshots ~probes
+            ~estimators:ests ~scenarios ()
+        in
+        print_string (Core.Crossval.render ~timing cells);
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            output_string oc (Core.Crossval.to_jsonl cells);
+            close_out oc;
+            Printf.printf "wrote %s: %d cells\n" path (Array.length cells))
+          out)
+  in
+  let term =
+    Term.(
+      const run $ grid_arg $ seeds_arg $ estimators_arg $ out_arg
+      $ threshold_arg $ snapshots_arg $ probes_arg $ timing_arg $ jobs_arg
+      $ obs_term)
+  in
+  Cmd.v
+    (Cmd.info "crossval"
+       ~doc:
+         "Cross-validate every capable estimator backend on identical \
+          simulated (and optionally fault-injected) scenarios and render a \
+          Table-1-style comparison grid.")
+    term
+
 let main =
   let doc = "network loss tomography with second-order statistics (LIA)" in
   Cmd.group (Cmd.info "lia_cli" ~doc)
-    [ gen_cmd; sim_cmd; infer_cmd; validate_cmd; check_cmd; report_cmd ]
+    [
+      gen_cmd;
+      sim_cmd;
+      infer_cmd;
+      validate_cmd;
+      check_cmd;
+      report_cmd;
+      crossval_cmd;
+    ]
 
 let () =
   match Cmd.eval_value ~catch:false main with

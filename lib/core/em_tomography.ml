@@ -19,7 +19,9 @@ let log_likelihood r ~delivered ~probes t =
   done;
   !acc
 
-let estimate ?(max_sweeps = 200) ?(tol = 1e-7) ?(init = 0.99) r ~delivered ~probes =
+(* the whole coordinate-ascent pipeline; [estimate] and the
+   record-shaped [estimate_input] are both thin wrappers over this *)
+let estimate_core ~max_sweeps ~tol ~init r ~delivered ~probes =
   let np = Sparse.rows r and nc = Sparse.cols r in
   if Array.length delivered <> np then
     invalid_arg "Em_tomography.estimate: delivery length mismatch";
@@ -90,3 +92,12 @@ let estimate ?(max_sweeps = 200) ?(tol = 1e-7) ?(init = 0.99) r ~delivered ~prob
     ll := ll'
   done;
   { transmission = t; log_likelihood = !ll; sweeps = !sweeps }
+
+let estimate ?(max_sweeps = 200) ?(tol = 1e-7) ?(init = 0.99) r ~delivered ~probes =
+  estimate_core ~max_sweeps ~tol ~init r ~delivered ~probes
+
+let estimate_input ?(max_sweeps = 200) ?(tol = 1e-7) ?(init = 0.99)
+    (input : Measurement.t) =
+  estimate_core ~max_sweeps ~tol ~init input.Measurement.r
+    ~delivered:(Measurement.delivered input) ~probes:input.Measurement.probes
+

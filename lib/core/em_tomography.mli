@@ -38,4 +38,15 @@ val estimate :
 (** [estimate r ~delivered ~probes]: coordinate ascent from the uniform
     start [init] (default 0.99) until the likelihood gain per sweep drops
     below [tol] (default 1e-7) or [max_sweeps] (default 200) is reached.
-    Raises [Invalid_argument] on dimension or range errors. *)
+    Raises [Invalid_argument] on dimension or range errors. A thin
+    wrapper over the same pipeline as {!estimate_input} — both shapes run
+    bit-for-bit the same ascent. *)
+
+val estimate_input :
+  ?max_sweeps:int -> ?tol:float -> ?init:float -> Measurement.t -> result
+(** The record-shaped entry: reconstructs the per-path delivery counts
+    from the bundle's target snapshot ({!Measurement.delivered}) and runs
+    {!estimate} on them. On clean simulated data the reconstruction is
+    exact, so this is bit-for-bit
+    [estimate input.r ~delivered:(Measurement.delivered input)
+    ~probes:input.probes]. *)

@@ -77,6 +77,12 @@ let segment_loss_rates t ~y_now all_segments =
     all_segments;
   List.rev !out
 
+type estimate = {
+  loss_rates : float array;
+  segments : int array list array;
+  mean_segment_length : float;
+}
+
 let average_length all_segments =
   let total = ref 0 and count = ref 0 in
   Array.iter
@@ -88,3 +94,44 @@ let average_length all_segments =
         segments)
     all_segments;
   if !count = 0 then 0. else float_of_int !total /. float_of_int !count
+
+let estimate (input : Measurement.t) =
+  let r = input.Measurement.r in
+  let nc = Sparse.cols r in
+  (* identifiability is a property of the measurements actually in hand:
+     restrict to the finitely measured target paths before preparing the
+     row-space basis (on clean input this is the full matrix) *)
+  let valid = Measurement.valid_target input in
+  if Array.length valid = 0 then
+    invalid_arg "Mils.estimate: no finite target measurements";
+  let r_used, y_used =
+    if Array.length valid = Sparse.rows r then (r, input.Measurement.y_now)
+    else
+      ( Linalg.Sparse.select_rows r valid,
+        Array.map (fun i -> input.Measurement.y_now.(i)) valid )
+  in
+  let t = prepare r_used in
+  let segments = decompose t in
+  let rates = segment_loss_rates t ~y_now:y_used segments in
+  (* per-link projection: spread each segment's aggregate evenly in the
+     log domain, each link taking the value of its shortest (most
+     precise) covering segment; uncovered links read loss-free *)
+  let loss_rates = Array.make nc 0. in
+  let best_len = Array.make nc max_int in
+  List.iter
+    (fun (seg, loss) ->
+      let k = Array.length seg in
+      if k > 0 then begin
+        let loss = Float.max 0. (Float.min (1. -. 1e-12) loss) in
+        let per = 1. -. ((1. -. loss) ** (1. /. float_of_int k)) in
+        Array.iter
+          (fun j ->
+            if k < best_len.(j) then begin
+              best_len.(j) <- k;
+              loss_rates.(j) <- per
+            end)
+          seg
+      end)
+    rates;
+  { loss_rates; segments; mean_segment_length = average_length segments }
+

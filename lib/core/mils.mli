@@ -44,3 +44,27 @@ val segment_loss_rates :
 val average_length : int array list array -> float
 (** Mean number of links per segment — the granularity measure [36]
     reports (LIA's effective granularity is 1.0 by Theorem 1). *)
+
+(** {1 Record-shaped entry}
+
+    The normalized call shape shared by the estimator zoo: one
+    {!Measurement.t} in, per-link rates out. The granular entry points
+    above remain the building blocks and are unchanged. *)
+
+type estimate = {
+  loss_rates : float array;
+      (** per-link projection of the segment aggregates: each segment's
+          loss is spread evenly in the log domain over its links, and a
+          link covered by several segments takes the value of its
+          shortest (finest-granularity) one; uncovered links read 0 *)
+  segments : int array list array;  (** per used path, as {!decompose} *)
+  mean_segment_length : float;  (** {!average_length} of [segments] *)
+}
+
+val estimate : Measurement.t -> estimate
+(** [prepare] + {!decompose} + {!segment_loss_rates} on the bundle's
+    routing matrix and target snapshot. Non-finite target measurements
+    are excluded first (identifiability is then judged on the surviving
+    rows); on a clean target this is bit-for-bit the composition of the
+    granular entry points on the full matrix. Raises [Invalid_argument]
+    when no finite measurement remains. *)

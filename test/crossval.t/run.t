@@ -1,0 +1,91 @@
+Cross-validation scenario runner: a 2x2 grid (two topology families x
+two fault alternatives), two seeds, all nine registered backends on
+identical simulated data. The table is a deterministic function of the
+grid and the seed list.
+
+  $ lia_cli crossval --grid "family=tree,planetlab;size=12;fault=none|seed=3,drop=0.2,miss=0.1" --seeds 1,2 --snapshots 12 -o cells.jsonl
+  == tree/12 llrd1-calibrated fault=none (2 seeds) ==
+  estimator   status                abs.mean   abs.max  errf.med      dr     fpr  note
+  minc        clean:2                 0.0052    0.0444    1.0000    1.00    0.00  gammas approximated from unicast snapshots
+  em          clean:2                 0.0000    0.0004    1.0000    1.00    0.00  8 sweeps; 2 sweeps
+  mils        clean:2                 0.0069    0.0473    1.0000    1.00    0.00  granularity 1.78; granularity 1.75
+  scfs        clean:2                      -         -         -    1.00    0.00  
+  clink       clean:2                      -         -         -    1.00    0.00  
+  fourier     clean:2                 0.0002    0.0009    1.0000    1.00    0.00  
+  plan        skipped:2                    -         -         -       -       -  skipped(needs caller-supplied link variances)
+  lia-dense   clean:1,degraded:1      0.0002    0.0009    1.0000    1.00    0.00  degraded (kept 9/11 snapshots (quarantined 2: 2 duplicate); 0 missing cells, 0 corrupt cells; pairs used 14/14, min overlap 9; target: 0 missing, 0 corrupt)
+  lia-cgls    clean:1,degraded:1      0.0002    0.0009    1.0000    1.00    0.00  degraded (kept 9/11 snapshots (quarantined 2: 2 duplicate); 0 missing cells, 0 corrupt cells; pairs used 14/14, min overlap 9; target: 0 missing, 0 corrupt)
+  
+  == tree/12 llrd1-calibrated fault=seed=3,drop=0.2,miss=0.1 (2 seeds) ==
+  estimator   status                abs.mean   abs.max  errf.med      dr     fpr  note
+  minc        clean:2                 0.0058    0.0479    1.0000    1.00    0.00  gammas approximated from unicast snapshots
+  em          degraded:2              0.0015    0.0100    1.0000    1.00    0.67  target: 1 invalid paths excluded; 8 sweeps; target: 2 invalid paths excluded; 2 sweeps
+  mils        degraded:2              0.0069    0.0473    1.0000    1.00    0.00  target: 1 invalid paths excluded; granularity 1.88; target: 2 invalid paths excluded; granularity 1.83
+  scfs        degraded:2                   -         -         -    1.00    0.00  target: 1 invalid paths excluded; target: 2 invalid paths excluded
+  clink       degraded:2                   -         -         -    1.00    0.00  target: 1 invalid paths excluded; target: 2 invalid paths excluded
+  fourier     clean:2                 0.0002    0.0010    1.0000    1.00    0.00  
+  plan        skipped:2                    -         -         -       -       -  skipped(needs caller-supplied link variances)
+  lia-dense   degraded:2              0.0002    0.0010    1.0000    1.00    0.00  degraded (kept 10/10 snapshots; 14 missing cells, 0 corrupt cells; pairs used 18/18, min overlap 5; target: 1 missing, 0 corrupt); degraded (kept 8/8 snapshots; 10 missing cells, 0 corrupt cells; pairs used 14/14, min overlap 4; target: 2 missing, 0 corrupt)
+  lia-cgls    degraded:2              0.0002    0.0010    1.0000    1.00    0.00  degraded (kept 10/10 snapshots; 14 missing cells, 0 corrupt cells; pairs used 18/18, min overlap 5; target: 1 missing, 0 corrupt); degraded (kept 8/8 snapshots; 10 missing cells, 0 corrupt cells; pairs used 14/14, min overlap 4; target: 2 missing, 0 corrupt)
+  
+  == planetlab/12 llrd1-calibrated fault=none (2 seeds) ==
+  estimator   status                abs.mean   abs.max  errf.med      dr     fpr  note
+  minc        skipped:2                    -         -         -       -       -  skipped(not a single-beacon tree)
+  em          clean:2                 0.0125    0.1864    1.0000    0.89    0.52  14 sweeps; 30 sweeps
+  mils        clean:2                 0.0153    0.1521    1.0000    1.00    0.68  granularity 4.55; granularity 4.44
+  scfs        clean:2                      -         -         -    0.68    0.11  
+  clink       clean:2                      -         -         -    0.71    0.14  
+  fourier     skipped:2                    -         -         -       -       -  skipped(not a single-beacon tree)
+  plan        skipped:2                    -         -         -       -       -  skipped(needs caller-supplied link variances)
+  lia-dense   clean:2                 0.0036    0.1115    1.0000    0.88    0.11  
+  lia-cgls    clean:2                 0.0036    0.1115    1.0000    0.88    0.11  
+  
+  == planetlab/12 llrd1-calibrated fault=seed=3,drop=0.2,miss=0.1 (2 seeds) ==
+  estimator   status                abs.mean   abs.max  errf.med      dr     fpr  note
+  minc        skipped:2                    -         -         -       -       -  skipped(not a single-beacon tree)
+  em          degraded:2              0.0135    0.1865    1.0000    0.89    0.62  target: 14 invalid paths excluded; 16 sweeps; target: 14 invalid paths excluded; 31 sweeps
+  mils        degraded:2              0.0154    0.1615    1.0000    0.88    0.70  target: 14 invalid paths excluded; granularity 4.54; target: 14 invalid paths excluded; granularity 4.47
+  scfs        degraded:2                   -         -         -    0.59    0.15  target: 14 invalid paths excluded
+  clink       degraded:2                   -         -         -    0.59    0.19  target: 14 invalid paths excluded
+  fourier     skipped:2                    -         -         -       -       -  skipped(not a single-beacon tree)
+  plan        skipped:2                    -         -         -       -       -  skipped(needs caller-supplied link variances)
+  lia-dense   degraded:2              0.0062    0.2035    1.0000    0.56    0.12  degraded (kept 10/10 snapshots; 148 missing cells, 0 corrupt cells; pairs used 1454/1454, min overlap 4; target: 14 missing, 0 corrupt); degraded (kept 10/10 snapshots; 148 missing cells, 0 corrupt cells; pairs used 1456/1456, min overlap 4; target: 14 missing, 0 corrupt)
+  lia-cgls    degraded:2              0.0062    0.2035    1.0000    0.56    0.12  degraded (kept 10/10 snapshots; 148 missing cells, 0 corrupt cells; pairs used 1454/1454, min overlap 4; target: 14 missing, 0 corrupt); degraded (kept 10/10 snapshots; 148 missing cells, 0 corrupt cells; pairs used 1456/1456, min overlap 4; target: 14 missing, 0 corrupt)
+  
+  wrote cells.jsonl: 72 cells
+
+The JSONL sidecar carries one record per (scenario, estimator) cell:
+4 scenarios x 9 estimators x 2 seeds = 72 cells.
+
+  $ wc -l < cells.jsonl
+  72
+
+Reruns are byte-identical and the worker count never leaks into the
+output:
+
+  $ lia_cli crossval --grid "family=tree,planetlab;size=12;fault=none|seed=3,drop=0.2,miss=0.1" --seeds 1,2 --snapshots 12 -j 1 > j1.txt
+  $ lia_cli crossval --grid "family=tree,planetlab;size=12;fault=none|seed=3,drop=0.2,miss=0.1" --seeds 1,2 --snapshots 12 -j 4 > j4.txt
+  $ lia_cli crossval --grid "family=tree,planetlab;size=12;fault=none|seed=3,drop=0.2,miss=0.1" --seeds 1,2 --snapshots 12 -j 1 > j1b.txt
+  $ diff j1.txt j4.txt
+  $ diff j1.txt j1b.txt
+
+A subset of backends can be selected by name:
+
+  $ lia_cli crossval --estimators lia-dense,em --grid "family=tree;size=12" --seeds 1 --snapshots 12
+  == tree/12 llrd1-calibrated fault=none (1 seed) ==
+  estimator   status                abs.mean   abs.max  errf.med      dr     fpr  note
+  lia-dense   clean:1                 0.0001    0.0008    1.0000    1.00    0.00  
+  em          clean:1                 0.0001    0.0008    1.0000    1.00    0.00  8 sweeps
+  
+
+An unknown estimator is a usage error (exit 2), listing the registry:
+
+  $ lia_cli crossval --estimators bogus --grid "family=tree;size=12" --seeds 1
+  lia_cli: unknown estimator "bogus" (known: minc, em, mils, scfs, clink, fourier, plan, lia-dense, lia-cgls)
+  [2]
+
+So is an unknown grid axis:
+
+  $ lia_cli crossval --grid "flavour=tree" --seeds 1
+  lia_cli: unknown grid axis "flavour" (expected family, size, model, or fault)
+  [2]

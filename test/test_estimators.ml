@@ -158,6 +158,174 @@ let test_ci_validation () =
     (Invalid_argument "Variance_ci.bootstrap: confidence out of (0,1)")
     (fun () -> ignore (Ci.bootstrap ~confidence:2. rng ~r ~y))
 
+(* --- golden cross-estimator consistency -------------------------------- *)
+
+module Estimator = Core.Estimator
+module Measurement = Core.Measurement
+
+(* One clean, identifiable tree campaign shared by the golden checks:
+   every registry backend must be capable on it (variances are supplied
+   so even [plan] runs) and must recover the final snapshot's realized
+   losses within its documented golden bound. *)
+let golden_campaign () =
+  let rng = Rng.create 21 in
+  let tb = Topology.Tree_gen.generate rng ~nodes:60 ~max_branching:4 () in
+  let red = Topology.Testbed.routing tb in
+  let r = red.Topology.Routing.matrix in
+  let config =
+    Netsim.Snapshot.default_config Lossmodel.Loss_model.llrd1_calibrated
+  in
+  let run = Netsim.Simulator.run rng config r ~count:41 in
+  let y_learn, target = Netsim.Simulator.split_learning run ~learning:40 in
+  let lia = Core.Lia.infer ~r ~y_learn ~y_now:target.Netsim.Snapshot.y () in
+  let input =
+    Measurement.make ~routing:red ~variances:lia.Core.Lia.variances ~r ~y_learn
+      ~y_now:target.Netsim.Snapshot.y ()
+  in
+  (input, target)
+
+let test_golden_registry () =
+  let input, target = golden_campaign () in
+  let threshold = 0.01 in
+  let actual_rates = target.Netsim.Snapshot.realized in
+  let actual = Array.map (fun q -> q > threshold) actual_rates in
+  List.iter
+    (fun (e : Estimator.t) ->
+      (match Estimator.check e input with
+      | Ok () -> ()
+      | Error reason ->
+          Alcotest.failf "%s not capable on the golden tree: %s"
+            e.Estimator.name reason);
+      match e.Estimator.estimate ~threshold input with
+      | Error reason -> Alcotest.failf "%s skipped: %s" e.Estimator.name reason
+      | Ok out -> (
+          Alcotest.(check string)
+            (e.Estimator.name ^ " health") "clean" out.Estimator.health;
+          match e.Estimator.golden with
+          | Estimator.Abs_err tol -> (
+              match out.Estimator.loss_rates with
+              | None ->
+                  Alcotest.failf "%s: rate backend returned no rates"
+                    e.Estimator.name
+              | Some rates ->
+                  let mean =
+                    Nstats.Descriptive.mean
+                      (Core.Metrics.absolute_errors ~actual:actual_rates
+                         ~inferred:rates)
+                  in
+                  if mean > tol then
+                    Alcotest.failf "%s mean abs error %.4f exceeds %.4f"
+                      e.Estimator.name mean tol)
+          | Estimator.Detection { min_dr; max_fpr } -> (
+              match out.Estimator.verdicts with
+              | None ->
+                  Alcotest.failf "%s: no verdicts returned" e.Estimator.name
+              | Some verdicts ->
+                  let loc = Core.Metrics.location ~actual ~inferred:verdicts in
+                  if loc.Core.Metrics.dr < min_dr then
+                    Alcotest.failf "%s detection rate %.2f below %.2f"
+                      e.Estimator.name loc.Core.Metrics.dr min_dr;
+                  if loc.Core.Metrics.fpr > max_fpr then
+                    Alcotest.failf "%s false-positive rate %.2f above %.2f"
+                      e.Estimator.name loc.Core.Metrics.fpr max_fpr)))
+    Estimator.all
+
+let test_registry_names () =
+  Alcotest.(check (list string))
+    "registry order"
+    [
+      "minc";
+      "em";
+      "mils";
+      "scfs";
+      "clink";
+      "fourier";
+      "plan";
+      "lia-dense";
+      "lia-cgls";
+    ]
+    Estimator.names;
+  Alcotest.(check bool) "find hit" true (Estimator.find "lia-dense" <> None);
+  Alcotest.(check bool) "find miss" true (Estimator.find "bogus" = None)
+
+(* --- adapter bit-identity (qcheck) -------------------------------------- *)
+
+let adapter name =
+  match Estimator.find name with
+  | Some e -> e
+  | None -> Alcotest.failf "estimator %s missing from registry" name
+
+let adapter_rates name input =
+  match (adapter name).Estimator.estimate ~threshold:0.01 input with
+  | Ok { Estimator.loss_rates = Some rates; _ } -> rates
+  | Ok _ -> Alcotest.failf "%s returned no rates" name
+  | Error reason -> Alcotest.failf "%s skipped: %s" name reason
+
+let trial_input seed =
+  let r, y_learn, target = Generators.random_tree_trial seed in
+  Measurement.make ~r ~y_learn ~y_now:target.Netsim.Snapshot.y ()
+
+let prop_em_wrapper_bit_identical =
+  QCheck.Test.make ~count:12 ~name:"estimate_input = estimate (bit-for-bit)"
+    Generators.seed_arb (fun seed ->
+      let input = trial_input seed in
+      let via_input = Em.estimate_input input in
+      let direct =
+        Em.estimate input.Measurement.r
+          ~delivered:(Measurement.delivered input)
+          ~probes:input.Measurement.probes
+      in
+      Generators.vec_bits_equal via_input.Em.transmission
+        direct.Em.transmission
+      && via_input.Em.sweeps = direct.Em.sweeps)
+
+let prop_em_adapter_bit_identical =
+  QCheck.Test.make ~count:12 ~name:"em adapter = direct module call"
+    Generators.seed_arb (fun seed ->
+      let input = trial_input seed in
+      let direct = Em.estimate_input input in
+      Generators.vec_bits_equal
+        (adapter_rates "em" input)
+        (Array.map (fun t -> 1. -. t) direct.Em.transmission))
+
+let prop_mils_adapter_bit_identical =
+  QCheck.Test.make ~count:12 ~name:"mils adapter = direct module call"
+    Generators.seed_arb (fun seed ->
+      let input = trial_input seed in
+      let direct = Core.Mils.estimate input in
+      Generators.vec_bits_equal
+        (adapter_rates "mils" input)
+        direct.Core.Mils.loss_rates)
+
+let prop_lia_adapter_bit_identical =
+  QCheck.Test.make ~count:10 ~name:"lia-dense adapter = infer_checked"
+    Generators.seed_arb (fun seed ->
+      let input = trial_input seed in
+      let checked =
+        Core.Lia.infer_checked ~solver:Core.Lia.Dense ~r:input.Measurement.r
+          ~y_learn:input.Measurement.y_learn ~y_now:input.Measurement.y_now ()
+      in
+      match checked.Core.Lia.result with
+      | None -> false
+      | Some direct ->
+          Generators.vec_bits_equal
+            (adapter_rates "lia-dense" input)
+            direct.Core.Lia.loss_rates)
+
+let prop_scfs_adapter_bit_identical =
+  QCheck.Test.make ~count:12 ~name:"scfs adapter = direct module call"
+    Generators.seed_arb (fun seed ->
+      let input = trial_input seed in
+      let threshold = 0.01 in
+      let bad =
+        Core.Scfs.classify_paths input.Measurement.r
+          ~y_now:input.Measurement.y_now ~threshold
+      in
+      let direct = Core.Scfs.infer input.Measurement.r ~bad_paths:bad in
+      match (adapter "scfs").Estimator.estimate ~threshold input with
+      | Ok { Estimator.verdicts = Some v; _ } -> v = direct
+      | _ -> false)
+
 let () =
   Alcotest.run "estimators"
     [
@@ -183,4 +351,19 @@ let () =
           Alcotest.test_case "stable ranking" `Slow test_ci_stable_ranking;
           Alcotest.test_case "validation" `Quick test_ci_validation;
         ] );
+      ( "golden-registry",
+        [
+          Alcotest.test_case "every backend within its bound" `Slow
+            test_golden_registry;
+          Alcotest.test_case "registry names" `Quick test_registry_names;
+        ] );
+      ( "adapter-identity",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_em_wrapper_bit_identical;
+            prop_em_adapter_bit_identical;
+            prop_mils_adapter_bit_identical;
+            prop_lia_adapter_bit_identical;
+            prop_scfs_adapter_bit_identical;
+          ] );
     ]
